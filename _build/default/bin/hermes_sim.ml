@@ -1,0 +1,83 @@
+(* Command-line front end: list and run the paper-reproduction
+   experiments individually (bench/main.exe runs the whole battery). *)
+
+open Cmdliner
+
+let quick_flag =
+  let doc = "Shrink run lengths for a fast smoke pass." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-12s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  let doc = "List the available experiments (one per paper table/figure)." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let id =
+    let doc = "Experiment id (see $(b,list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run quick id =
+    match Experiments.Registry.find id with
+    | Some e ->
+      e.Experiments.Registry.run ~quick ();
+      `Ok ()
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment %S; known: %s" id
+            (String.concat ", " (Experiments.Registry.ids ())) )
+  in
+  let doc = "Run one experiment and print its table/series." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ quick_flag $ id))
+
+let disasm_cmd =
+  let workers =
+    let doc = "Workers in the (single) group." in
+    Arg.(value & opt int 8 & info [ "workers" ] ~doc)
+  in
+  let run workers =
+    if workers < 1 || workers > 64 then
+      `Error (false, "workers must be in 1..64")
+    else begin
+      let m_sel = Kernel.Ebpf_maps.Array_map.create ~name:"M_Sel" ~size:1 in
+      let m_socket =
+        Kernel.Ebpf_maps.Sockarray.create ~name:"M_socket" ~size:workers
+      in
+      let prog = Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2 in
+      match Kernel.Ebpf_vm.compile_and_verify prog with
+      | Error msg -> `Error (false, msg)
+      | Ok verified ->
+        Printf.printf
+          "; Algo 2 dispatch program for %d workers, compiled and verified\n\
+           ; (%d instructions; popcount and rank-select inlined as SWAR)\n"
+          workers
+          (Kernel.Ebpf_vm.insn_count verified);
+        (match Kernel.Ebpf_vm.compile prog with
+        | Ok code -> print_string (Kernel.Ebpf_vm.disassemble code)
+        | Error msg -> prerr_endline msg);
+        `Ok ()
+    end
+  in
+  let doc =
+    "Disassemble the verified eBPF bytecode of the Algo 2 dispatch program."
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(ret (const run $ workers))
+
+let all_cmd =
+  let run quick = Experiments.Registry.run_all ~quick () in
+  let doc = "Run every experiment in paper order." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+
+let main =
+  let doc = "Hermes (SIGCOMM '25) reproduction driver" in
+  let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; run_cmd; all_cmd; disasm_cmd ]
+
+let () = exit (Cmd.eval main)

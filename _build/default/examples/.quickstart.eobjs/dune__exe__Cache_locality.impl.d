@@ -1,0 +1,1 @@
+examples/cache_locality.ml: Array Engine Hermes Lb Netsim Printf Stats

@@ -1,0 +1,1 @@
+examples/cluster_canary.ml: Cluster Engine Hashtbl Hermes Lb List Netsim Printf Workload

@@ -1,0 +1,1 @@
+examples/full_pipeline.ml: Array Engine Format Hermes Lb Netsim Option Printf Stats String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Hermes Lb Netsim Option Printf Stats String Workload

@@ -1,0 +1,1 @@
+examples/rolling_release.ml: Engine Hermes Lb Netsim Printf Stats Workload

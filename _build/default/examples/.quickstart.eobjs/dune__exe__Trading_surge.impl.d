@@ -1,0 +1,1 @@
+examples/trading_surge.ml: Array Engine Hermes Lb Netsim Printf Stats String Workload

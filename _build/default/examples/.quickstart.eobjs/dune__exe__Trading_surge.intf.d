@@ -1,0 +1,1 @@
+examples/trading_surge.mli:

@@ -1,0 +1,1 @@
+examples/walkthrough.ml: Array Engine Hermes Lb List Netsim Printf String

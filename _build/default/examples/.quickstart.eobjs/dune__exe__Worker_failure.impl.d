@@ -1,0 +1,1 @@
+examples/worker_failure.ml: Array Engine Hermes Lb Netsim Printf String Workload

@@ -1,0 +1,88 @@
+(* Zero-downtime release: upgrading every worker binary while tenant
+   traffic keeps flowing (the reuseport-eBPF release-steering use case
+   of §8, built on Hermes's dispatch machinery).
+
+     dune exec examples/rolling_release.exe
+
+   Compares a naive simultaneous restart (every worker bounced at
+   once) with the rolling release: one worker drained out of the
+   bitmap at a time, connections allowed to finish, stragglers RST at
+   a grace deadline, then the "new binary" rejoins. *)
+
+module ST = Engine.Sim_time
+
+let with_traffic f =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 21 in
+  let tenants = Netsim.Tenant.population ~n:4 ~base_dport:20000 in
+  let device =
+    Lb.Device.create ~sim ~rng:(Engine.Rng.split rng)
+      ~mode:(Lb.Device.Hermes Hermes.Config.default) ~workers:8 ~tenants ()
+  in
+  Lb.Device.start device;
+  (* connections live ~1 s (20 requests, 50 ms apart), so a 2 s grace
+     lets most of a worker's connections finish on their own *)
+  let profile =
+    {
+      (Workload.Profile.scale_rate
+         (Workload.Cases.profile Workload.Cases.Case3 ~workers:8)
+         0.5)
+      with
+      Workload.Profile.requests_per_conn = Engine.Dist.uniform ~lo:10.0 ~hi:30.0;
+    }
+  in
+  let driver =
+    Workload.Driver.start ~device ~profile ~rng ~reconnect_on_reset:true ()
+  in
+  Engine.Sim.run_until sim ~limit:(ST.sec 2);
+  Lb.Device.reset_measurements device;
+  f device sim;
+  Workload.Driver.stop driver;
+  device
+
+let () =
+  print_endline "== Rolling release vs naive restart ==\n";
+
+  (* --- naive: bounce everything at once --------------------------- *)
+  let naive =
+    with_traffic (fun device sim ->
+        for w = 0 to 7 do
+          Lb.Device.crash_worker device w
+        done;
+        Engine.Sim.run_until sim ~limit:(ST.ms 2500);
+        for w = 0 to 7 do
+          Lb.Device.recover_worker device w
+        done;
+        Engine.Sim.run_until sim ~limit:(ST.sec 12))
+  in
+  Printf.printf
+    "naive restart:   %5d connections reset, accept delay p99 %8.1f ms\n"
+    (Lb.Device.conns_reset naive)
+    (Stats.Histogram.percentile (Lb.Device.establishment_hist naive) 99.0 /. 1e6);
+
+  (* --- rolling: one worker out of rotation at a time --------------- *)
+  let rolling_outcome = ref None in
+  let rolling =
+    with_traffic (fun device sim ->
+        ignore
+          (Lb.Release.start ~device ~grace:(ST.sec 2)
+             ~on_done:(fun o -> rolling_outcome := Some o)
+             ());
+        Engine.Sim.run_until sim ~limit:(ST.sec 22))
+  in
+  Printf.printf
+    "rolling release: %5d connections reset, accept delay p99 %8.1f ms\n"
+    (Lb.Device.conns_reset rolling)
+    (Stats.Histogram.percentile (Lb.Device.establishment_hist rolling) 99.0 /. 1e6);
+  (match !rolling_outcome with
+  | Some o ->
+    Printf.printf
+      "  %d workers released in %s: %d connections drained gracefully, %d RST at the deadline\n"
+      o.Lb.Release.workers_released
+      (ST.to_string o.Lb.Release.duration)
+      o.Lb.Release.drained_gracefully o.Lb.Release.reset_at_deadline
+  | None -> print_endline "  (release did not complete in the horizon)");
+  print_endline
+    "\nthe rolling path keeps 7/8 of capacity in rotation at all times and\n\
+     never dispatches a SYN into a restarting worker; the naive bounce\n\
+     resets every in-flight connection at once."

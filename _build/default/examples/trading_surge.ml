@@ -1,0 +1,47 @@
+(* The quantitative-trading pattern behind Fig. 3's "lag effect":
+   thousands of long-lived, mostly idle connections; when the trading
+   condition fires, a burst arrives on all of them at once.  Where the
+   connections were *established* decides which cores melt — long after
+   the establishment-time imbalance was created.
+
+     dune exec examples/trading_surge.exe *)
+
+module ST = Engine.Sim_time
+
+let run_mode label mode =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 11 in
+  let tenants = Netsim.Tenant.population ~n:2 ~base_dport:20000 in
+  let device = Lb.Device.create ~sim ~rng ~mode ~workers:8 ~tenants () in
+  Lb.Device.start device;
+  (* Phase 1: the trading clients connect over two quiet seconds. *)
+  let surge =
+    Workload.Surge.establish ~device ~tenant:0 ~count:1200 ~over:(ST.sec 2)
+  in
+  Engine.Sim.run_until sim ~limit:(ST.ms 2500);
+  let conns = Lb.Device.conns_per_worker device in
+  Printf.printf "%-12s connections per worker after establishment: [%s]\n"
+    label
+    (String.concat "; " (Array.to_list (Array.map string_of_int conns)));
+  (* Phase 2: the market moves — every connection fires at once. *)
+  Lb.Device.reset_measurements device;
+  Workload.Surge.burst surge ~rng ~requests_per_conn:3 ~cost:(ST.ms 2)
+    ~size:400 ~jitter:(ST.ms 40);
+  Engine.Sim.run_until sim ~limit:(ST.sec 8);
+  let hist = Lb.Device.latency_hist device in
+  Printf.printf
+    "%-12s surge latency: p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms\n\n" label
+    (Stats.Histogram.percentile hist 50.0 /. 1e6)
+    (Stats.Histogram.percentile hist 99.0 /. 1e6)
+    (Stats.Histogram.percentile hist 99.9 /. 1e6)
+
+let () =
+  print_endline "== Long-lived connections + synchronized surge (Fig. 3) ==\n";
+  run_mode "exclusive" Lb.Device.Exclusive;
+  run_mode "reuseport" Lb.Device.Reuseport;
+  run_mode "hermes" (Lb.Device.Hermes Hermes.Config.default);
+  print_endline
+    "under exclusive the burst lands on the few workers that hold the\n\
+     connections (the paper saw P999 spike from ~300 us to 30 ms);\n\
+     hermes spread the connections at establishment, so the same burst\n\
+     stays close to the normal latency."

@@ -1,0 +1,88 @@
+(* Worker failure handling: hangs and crashes (§7 "How worker failures
+   impact tenant services" and Appendix C's exception cases).
+
+   The script: a Hermes device serves background traffic under
+   per-worker health probing.  We first hang one worker on an
+   oversized drain (the 440-second read-event stall of §5.2.1), watch
+   Hermes's FilterTime steer new connections away while the probes
+   flag it, then crash another worker outright and walk the
+   detect -> isolate -> recover path.
+
+     dune exec examples/worker_failure.exe *)
+
+module ST = Engine.Sim_time
+
+let () =
+  print_endline "== Worker hang and crash handling ==\n";
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 3 in
+  let tenants = Netsim.Tenant.population ~n:4 ~base_dport:20000 in
+  let device =
+    Lb.Device.create ~sim ~rng:(Engine.Rng.split rng)
+      ~mode:(Lb.Device.Hermes Hermes.Config.default) ~workers:8 ~tenants ()
+  in
+  Lb.Device.start device;
+  let prober =
+    Lb.Probe.Per_worker.start
+      ~config:
+        { Lb.Probe.interval = ST.ms 50; timeout = ST.sec 1; delayed_threshold = ST.ms 200 }
+      ~target:device
+  in
+  let background =
+    Workload.Profile.scale_rate
+      (Workload.Cases.profile Workload.Cases.Case3 ~workers:8)
+      0.5
+  in
+  let driver = Workload.Driver.start ~device ~profile:background ~rng () in
+  Engine.Sim.run_until sim ~limit:(ST.sec 1);
+
+  (* --- hang: worker 2 gets stuck draining a monster request -------- *)
+  print_endline "t=1s: worker 2 hangs on a 5-second drain";
+  Lb.Device.inject_hang device ~worker:2 ~duration:(ST.sec 5);
+  let accepted_at_hang = (Lb.Device.accepted_per_worker device).(2) in
+  Engine.Sim.run_until sim ~limit:(ST.sec 3);
+  let accepted_during = (Lb.Device.accepted_per_worker device).(2) - accepted_at_hang in
+  Printf.printf
+    "  during the hang: %d new connections landed on worker 2 (FilterTime\n\
+    \  excludes it ~%s after the loop stops rotating)\n"
+    accepted_during
+    (ST.to_string Hermes.Config.default.Hermes.Config.avail_threshold);
+  Printf.printf "  probes flagged per worker so far: [%s]\n"
+    (String.concat "; "
+       (Array.to_list
+          (Array.map string_of_int (Lb.Probe.Per_worker.delayed_by_worker prober))));
+
+  (* --- crash: worker 5 dies; detection isolates; respawn ----------- *)
+  Engine.Sim.run_until sim ~limit:(ST.sec 6);
+  print_endline "\nt=6s: worker 5 crashes (core dump)";
+  Lb.Device.crash_worker device 5;
+  let victim_conns = (Lb.Device.conns_per_worker device).(5) in
+  Printf.printf "  %d established connections stall on the dead worker\n"
+    victim_conns;
+  Engine.Sim.run_until sim ~limit:(ST.ms 7500);
+  print_endline "t=7.5s: monitoring detects the crash; isolate + respawn";
+  Lb.Device.isolate_worker device 5;
+  Lb.Device.recover_worker device 5;
+  let resets = Lb.Device.conns_reset device in
+  Engine.Sim.run_until sim ~limit:(ST.sec 10);
+  Workload.Driver.stop driver;
+  Lb.Probe.Per_worker.stop prober;
+  Printf.printf
+    "  %d connections were reset in total (clients reconnect and are\n\
+    \  re-dispatched to healthy workers)\n"
+    resets;
+  let accepted = Lb.Device.accepted_per_worker device in
+  Printf.printf "  worker 5 accepted %d connections after recovery\n\n"
+    (accepted.(5) - victim_conns);
+  Printf.printf
+    "final probe verdicts: %d of %d probes delayed; per worker [%s]\n"
+    (Lb.Probe.Per_worker.delayed prober)
+    (Lb.Probe.Per_worker.sent prober)
+    (String.concat "; "
+       (Array.to_list
+          (Array.map string_of_int (Lb.Probe.Per_worker.delayed_by_worker prober))));
+  print_endline
+    "\nthe blast radius stays ~1/8 of the device: Hermes spread the\n\
+     connections, so neither the hang nor the crash could take down a\n\
+     majority of tenant traffic (contrast with exclusive's 70%+ incident\n\
+     in section 7 of the paper)."

@@ -1,0 +1,1 @@
+lib/cluster/canary.ml: Array Float

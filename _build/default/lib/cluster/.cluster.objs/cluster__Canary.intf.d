@@ -1,0 +1,1 @@
+lib/cluster/canary.mli: Engine

@@ -1,0 +1,1 @@
+lib/cluster/lb_cluster.ml: Array Engine Hashtbl Lb List Netsim Option Printf

@@ -1,0 +1,1 @@
+lib/cluster/lb_cluster.mli: Engine Lb Netsim

@@ -1,0 +1,1 @@
+lib/cluster/overload.ml: Array Engine Format Lb List Shuffle_shard Stats

@@ -1,0 +1,1 @@
+lib/cluster/overload.mli: Engine Format Lb Shuffle_shard

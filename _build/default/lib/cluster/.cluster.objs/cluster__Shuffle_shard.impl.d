@@ -1,0 +1,1 @@
+lib/cluster/shuffle_shard.ml: Array Engine Hashtbl

@@ -1,0 +1,1 @@
+lib/cluster/shuffle_shard.mli: Engine

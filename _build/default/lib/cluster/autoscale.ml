@@ -1,0 +1,58 @@
+type policy = {
+  threshold : float;
+  vm_cores : int;
+  min_vms : int;
+  scale_in_hysteresis : float;
+}
+
+let policy_before_hermes =
+  { threshold = 0.30; vm_cores = 32; min_vms = 2; scale_in_hysteresis = 0.15 }
+
+let policy_after_hermes = { policy_before_hermes with threshold = 0.40 }
+
+type epoch = { offered_cpu : float; traffic_units : float }
+
+type outcome = {
+  vm_series : int array;
+  vm_hours : float;
+  traffic_total : float;
+  unit_cost : float;
+}
+
+let vms_needed p ~offered_cpu =
+  if offered_cpu < 0.0 then invalid_arg "Autoscale.vms_needed: negative load";
+  let capacity_per_vm = float_of_int p.vm_cores *. p.threshold in
+  max p.min_vms (int_of_float (ceil (offered_cpu /. capacity_per_vm)))
+
+let simulate p epochs ~epoch_hours =
+  if Array.length epochs = 0 then invalid_arg "Autoscale.simulate: no epochs";
+  if epoch_hours <= 0.0 then
+    invalid_arg "Autoscale.simulate: epoch_hours must be positive";
+  let vms = ref p.min_vms in
+  let vm_hours = ref 0.0 and traffic = ref 0.0 in
+  let series =
+    Array.map
+      (fun e ->
+        let needed = vms_needed p ~offered_cpu:e.offered_cpu in
+        if needed > !vms then vms := needed
+        else begin
+          (* Scale in conservatively: only when a smaller fleet would
+             still sit comfortably below the trigger. *)
+          let relaxed =
+            vms_needed
+              { p with threshold = p.threshold *. (1.0 -. p.scale_in_hysteresis) }
+              ~offered_cpu:e.offered_cpu
+          in
+          if relaxed < !vms then vms := max p.min_vms relaxed
+        end;
+        vm_hours := !vm_hours +. (float_of_int !vms *. epoch_hours);
+        traffic := !traffic +. e.traffic_units;
+        !vms)
+      epochs
+  in
+  {
+    vm_series = series;
+    vm_hours = !vm_hours;
+    traffic_total = !traffic;
+    unit_cost = (if !traffic > 0.0 then !vm_hours /. !traffic else 0.0);
+  }

@@ -1,0 +1,178 @@
+module Sim = Engine.Sim
+module Sim_time = Engine.Sim_time
+
+type member = {
+  dev : Lb.Device.t;
+  mutable draining : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Engine.Rng.t;
+  tenants : Netsim.Tenant.t array;
+  default_workers : int;
+  slots : (int, member) Hashtbl.t;
+  mutable next_slot : int;
+  mutable removed_completed : int;
+  mutable removed_dropped : int;
+}
+
+let spawn t ~mode ~workers =
+  let device =
+    Lb.Device.create ~sim:t.sim ~rng:(Engine.Rng.split t.rng) ~mode ~workers
+      ~tenants:t.tenants ()
+  in
+  Lb.Device.start device;
+  device
+
+let create ~sim ~rng ~tenants ~devices ~mode ?(workers = 8) () =
+  if devices <= 0 then invalid_arg "Lb_cluster.create: devices must be positive";
+  let t =
+    {
+      sim;
+      rng;
+      tenants;
+      default_workers = workers;
+      slots = Hashtbl.create 16;
+      next_slot = 0;
+      removed_completed = 0;
+      removed_dropped = 0;
+    }
+  in
+  for _ = 1 to devices do
+    let dev = spawn t ~mode ~workers in
+    Hashtbl.replace t.slots t.next_slot { dev; draining = false };
+    t.next_slot <- t.next_slot + 1
+  done;
+  t
+
+let size t = Hashtbl.length t.slots
+let in_rotation t =
+  Hashtbl.fold (fun _ m acc -> if m.draining then acc else acc + 1) t.slots 0
+
+let device t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some m -> m.dev
+  | None -> invalid_arg (Printf.sprintf "Lb_cluster.device: slot %d removed" slot)
+
+let devices t =
+  Hashtbl.fold (fun slot m acc -> (slot, m.dev) :: acc) t.slots []
+  |> List.sort compare
+
+let serving t =
+  Hashtbl.fold (fun _ m acc -> if m.draining then acc else m :: acc) t.slots []
+
+type conn_ref = { member : Lb.Device.t; conn : Lb.Conn.t }
+
+type events = {
+  established : conn_ref -> unit;
+  request_done : conn_ref -> Lb.Request.t -> unit;
+  closed : conn_ref -> unit;
+  reset : conn_ref -> unit;
+  dispatch_failed : unit -> unit;
+}
+
+let null_events =
+  {
+    established = (fun _ -> ());
+    request_done = (fun _ _ -> ());
+    closed = (fun _ -> ());
+    reset = (fun _ -> ());
+    dispatch_failed = (fun () -> ());
+  }
+
+let connect t ~tenant ~events =
+  match serving t with
+  | [] -> events.dispatch_failed ()
+  | members ->
+    (* ECMP-style spread: uniform choice is what per-flow hashing looks
+       like over many flows. *)
+    let m = List.nth members (Engine.Rng.int t.rng (List.length members)) in
+    let dev = m.dev in
+    let wrap conn = { member = dev; conn } in
+    Lb.Device.connect dev ~tenant
+      ~events:
+        {
+          Lb.Device.established = (fun conn -> events.established (wrap conn));
+          request_done = (fun conn req -> events.request_done (wrap conn) req);
+          closed = (fun conn -> events.closed (wrap conn));
+          reset = (fun conn -> events.reset (wrap conn));
+          dispatch_failed = events.dispatch_failed;
+        }
+
+let send r req = Lb.Device.send r.member r.conn req
+let close r = Lb.Device.close_conn r.member r.conn
+
+let cluster_ids = ref 0
+
+let fresh_id _t =
+  incr cluster_ids;
+  !cluster_ids
+
+let add_device t ~mode ?workers () =
+  let workers = Option.value ~default:t.default_workers workers in
+  let dev = spawn t ~mode ~workers in
+  let slot = t.next_slot in
+  Hashtbl.replace t.slots slot { dev; draining = false };
+  t.next_slot <- t.next_slot + 1;
+  slot
+
+let drain_device t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some m -> m.draining <- true
+  | None -> invalid_arg "Lb_cluster.drain_device: slot removed"
+
+let live_conns t slot =
+  Array.fold_left ( + ) 0 (Lb.Device.conns_per_worker (device t slot))
+
+let remove t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some m ->
+    t.removed_completed <- t.removed_completed + Lb.Device.completed m.dev;
+    t.removed_dropped <- t.removed_dropped + Lb.Device.dropped m.dev;
+    Hashtbl.remove t.slots slot
+  | None -> ()
+
+let remove_when_drained t slot ?(poll = Sim_time.ms 100) ~on_removed () =
+  let rec wait () =
+    if not (Hashtbl.mem t.slots slot) then on_removed ()
+    else if live_conns t slot = 0 then begin
+      remove t slot;
+      on_removed ()
+    end
+    else ignore (Sim.schedule_after t.sim ~delay:poll wait)
+  in
+  wait ()
+
+let rolling_replace t ~new_mode ?workers ?(poll = Sim_time.ms 100)
+    ?(max_drain = Sim_time.sec 30) ~on_done () =
+  let originals =
+    Hashtbl.fold (fun slot _ acc -> slot :: acc) t.slots [] |> List.sort compare
+  in
+  let rec step = function
+    | [] -> on_done ()
+    | slot :: rest ->
+      ignore (add_device t ~mode:new_mode ?workers ());
+      drain_device t slot;
+      let deadline = Sim_time.add (Sim.now t.sim) max_drain in
+      let rec wait () =
+        if live_conns t slot = 0 || Sim.now t.sim >= deadline then begin
+          (* past the deadline the VM keeps draining out of rotation,
+             like the long-lived-client tail of Fig. 11; accounting-wise
+             it leaves the cluster now *)
+          remove t slot;
+          step rest
+        end
+        else ignore (Sim.schedule_after t.sim ~delay:poll wait)
+      in
+      wait ()
+  in
+  step originals
+
+let completed t =
+  t.removed_completed
+  + Hashtbl.fold (fun _ m acc -> acc + Lb.Device.completed m.dev) t.slots 0
+
+let dropped t =
+  t.removed_dropped
+  + Hashtbl.fold (fun _ m acc -> acc + Lb.Device.dropped m.dev) t.slots 0

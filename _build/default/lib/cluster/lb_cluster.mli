@@ -1,0 +1,93 @@
+(** A cluster of L7 LB devices behind one VIP (§6.1's "8 LBs in total
+    for load sharing and failure recovery").
+
+    The L4 tier spreads new connections across the member devices by
+    flow hash (ECMP-style); members can be added, put into draining
+    (no new connections, existing ones finish — how canary rollouts
+    phase VMs out), and removed once empty.  [rolling_replace]
+    implements the §6.2 canary: add a new-version device, drain an
+    old one, wait, remove, repeat. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  tenants:Netsim.Tenant.t array ->
+  devices:int ->
+  mode:Lb.Device.mode ->
+  ?workers:int ->
+  unit ->
+  t
+(** A cluster of [devices] identical members, all started. *)
+
+val size : t -> int
+(** Members currently in the cluster (serving or draining). *)
+
+val in_rotation : t -> int
+(** Members accepting new connections. *)
+
+val device : t -> int -> Lb.Device.t
+(** Member by slot.  @raise Invalid_argument for a removed slot. *)
+
+val devices : t -> (int * Lb.Device.t) list
+(** Live [(slot, device)] pairs. *)
+
+type conn_ref = { member : Lb.Device.t; conn : Lb.Conn.t }
+(** A cluster-level connection handle: the member device that accepted
+    it plus the connection itself. *)
+
+type events = {
+  established : conn_ref -> unit;
+  request_done : conn_ref -> Lb.Request.t -> unit;
+  closed : conn_ref -> unit;
+  reset : conn_ref -> unit;
+  dispatch_failed : unit -> unit;
+}
+
+val null_events : events
+
+val connect : t -> tenant:int -> events:events -> unit
+(** L4 spread: pick an in-rotation member pseudo-randomly and dispatch
+    through it.  Fails the connect when nothing is in rotation. *)
+
+val send : conn_ref -> Lb.Request.t -> bool
+val close : conn_ref -> unit
+val fresh_id : t -> int
+(** Cluster-wide request-id allocator. *)
+
+val add_device : t -> mode:Lb.Device.mode -> ?workers:int -> unit -> int
+(** Bring up a new member (e.g. the new software version); returns its
+    slot. *)
+
+val drain_device : t -> int -> unit
+(** Take a member out of rotation; its established connections keep
+    being served until they close. *)
+
+val live_conns : t -> int -> int
+(** Established connections still on a member. *)
+
+val remove_when_drained :
+  t -> int -> ?poll:Engine.Sim_time.t -> on_removed:(unit -> unit) -> unit ->
+  unit
+(** Wait (polling) until the member has no connections, then remove
+    it. *)
+
+val rolling_replace :
+  t ->
+  new_mode:Lb.Device.mode ->
+  ?workers:int ->
+  ?poll:Engine.Sim_time.t ->
+  ?max_drain:Engine.Sim_time.t ->
+  on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Canary rollout: for each original member, add a new-[new_mode]
+    device, drain the old one, wait for it to empty (or [max_drain],
+    default 30 s, after which remaining connections are abandoned to
+    the removed VM, like long-lived IoT clients), remove it, continue. *)
+
+val completed : t -> int
+(** Sum of completed requests over live members. *)
+
+val dropped : t -> int

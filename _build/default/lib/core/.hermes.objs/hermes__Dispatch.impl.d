@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Int64 Kernel

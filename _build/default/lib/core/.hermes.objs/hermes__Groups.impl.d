@@ -1,0 +1,1 @@
+lib/core/groups.ml: Array Dispatch Int64 Kernel Wst

@@ -1,0 +1,1 @@
+lib/core/groups.mli: Kernel Wst

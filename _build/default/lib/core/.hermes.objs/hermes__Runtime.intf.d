@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Config Engine Groups Kernel Metrics Scheduler

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Config Engine Float Kernel List Wst

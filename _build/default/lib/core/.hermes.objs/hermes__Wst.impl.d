@@ -1,0 +1,1 @@
+lib/core/wst.ml: Array Atomic Engine

@@ -1,0 +1,1 @@
+lib/core/wst.mli: Engine

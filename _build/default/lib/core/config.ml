@@ -1,0 +1,37 @@
+type filter = By_time | By_conn | By_event
+
+type t = {
+  avail_threshold : Engine.Sim_time.t;
+  theta_ratio : float;
+  min_selected : int;
+  epoll_timeout : Engine.Sim_time.t;
+  max_events : int;
+  filter_order : filter list;
+  schedule_at_loop_end : bool;
+  kernel_bytecode : bool;
+}
+
+let default =
+  {
+    avail_threshold = Engine.Sim_time.ms 100;
+    theta_ratio = 0.5;
+    min_selected = 2;
+    epoll_timeout = Engine.Sim_time.ms 5;
+    max_events = 64;
+    filter_order = [ By_time; By_conn; By_event ];
+    schedule_at_loop_end = true;
+    kernel_bytecode = false;
+  }
+
+let filter_name = function
+  | By_time -> "time"
+  | By_conn -> "conn"
+  | By_event -> "event"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{thr=%a theta=%.2f min_sel=%d timeout=%a max_ev=%d order=[%s] at_end=%b vm=%b}"
+    Engine.Sim_time.pp t.avail_threshold t.theta_ratio t.min_selected
+    Engine.Sim_time.pp t.epoll_timeout t.max_events
+    (String.concat ";" (List.map filter_name t.filter_order))
+    t.schedule_at_loop_end t.kernel_bytecode

@@ -1,0 +1,38 @@
+(** Hermes tunables.
+
+    Defaults follow the paper: a 5 ms [epoll_wait] timeout so every
+    worker runs the scheduler at least every 5 ms (§5.3.2), a θ/Avg
+    ratio of 0.5 (Fig. 15's sweet spot), and a kernel-side fallback to
+    plain reuseport when fewer than two workers pass the coarse filter
+    (Algo 2's [n > 1] test). *)
+
+type filter = By_time | By_conn | By_event
+
+type t = {
+  avail_threshold : Engine.Sim_time.t;
+      (** a worker whose event-loop-entry timestamp is older than this
+          is considered hung (FilterTime's [Threshold]) *)
+  theta_ratio : float;
+      (** θ expressed as a fraction of the average (Fig. 15's x-axis);
+          FilterCount keeps workers with [value < avg + θ] *)
+  min_selected : int;
+      (** kernel falls back to hash selection when fewer workers pass
+          the coarse filter *)
+  epoll_timeout : Engine.Sim_time.t;
+  max_events : int;  (** epoll_wait batch bound *)
+  filter_order : filter list;
+      (** cascade order; the paper's choice is time, then connection
+          count, then pending events (§5.2.2) — permutations are an
+          ablation *)
+  schedule_at_loop_end : bool;
+      (** true (paper): run the scheduler after the batch; false is the
+          stale-status ablation of §5.3.2 *)
+  kernel_bytecode : bool;
+      (** run the dispatch program as verified register bytecode
+          ({!Kernel.Ebpf_vm}) instead of the expression interpreter —
+          same semantics, closer to the metal *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

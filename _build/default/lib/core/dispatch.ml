@@ -1,0 +1,29 @@
+open Kernel.Ebpf
+
+let dispatch_body ~m_sel ~key ~m_socket ~base ~min_selected =
+  if min_selected < 1 then invalid_arg "Dispatch: min_selected must be >= 1";
+  Let_ret
+    ( "C",
+      Lookup (m_sel, Const (Int64.of_int key)),
+      Let_ret
+        ( "n",
+          Popcount (Var "C"),
+          If
+            ( Ge,
+              Var "n",
+              Const (Int64.of_int min_selected),
+              Select
+                ( m_socket,
+                  Add
+                    ( Const (Int64.of_int base),
+                      Find_nth_set
+                        ( Var "C",
+                          Add (Reciprocal_scale (Flow_hash, Var "n"), Const 1L)
+                        ) ) ),
+              Fallback ) ) )
+
+let single_group ~m_sel ~m_socket ~min_selected =
+  {
+    name = "hermes_dispatch";
+    body = dispatch_body ~m_sel ~key:0 ~m_socket ~base:0 ~min_selected;
+  }

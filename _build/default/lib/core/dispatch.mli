@@ -1,0 +1,38 @@
+(** eBPF connection-dispatch program — Algorithm 2.
+
+    Builds, as a term of the restricted {!Kernel.Ebpf} language, the
+    program Hermes attaches to each port's reuseport group:
+
+    {v
+    C   = bpf_map_lookup_elem(M_Sel, key)
+    n   = CountNonZeroBits(C)
+    if n >= min_selected:
+        Nth = reciprocal_scale(4tuple_hash, n) + 1
+        ID  = FindNthNonZeroBit(C, Nth)
+        return bpf_sk_select_reuseport(M_socket, base + ID)
+    else:
+        fall back to default reuseport hashing
+    v}
+
+    The bitmap is loaded into a register once ([Let_ret]), so the
+    popcount and the rank-select always agree even while userspace
+    concurrently rewrites the map. *)
+
+val single_group :
+  m_sel:Kernel.Ebpf_maps.Array_map.t ->
+  m_socket:Kernel.Ebpf_maps.Sockarray.t ->
+  min_selected:int ->
+  Kernel.Ebpf.prog
+(** The ≤64-worker deployment: one bitmap at key 0 of [m_sel], socket
+    slots indexed directly by worker id. *)
+
+val dispatch_body :
+  m_sel:Kernel.Ebpf_maps.Array_map.t ->
+  key:int ->
+  m_socket:Kernel.Ebpf_maps.Sockarray.t ->
+  base:int ->
+  min_selected:int ->
+  Kernel.Ebpf.ret
+(** One group's dispatch logic: bitmap at [key] in [m_sel], selected
+    worker id offset by [base] into [m_socket].  Building block for
+    {!Groups.make_prog}. *)

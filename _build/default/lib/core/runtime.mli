@@ -1,0 +1,62 @@
+(** Hermes runtime: one instance per LB device.
+
+    Owns the grouped WSTs, the selection map, and per-worker metric
+    hooks; builds the dispatch program for each listening port; and
+    runs the worker-triggered distributed scheduler
+    ([schedule_and_sync], Fig. 9 line 20).  It also keeps the
+    component-level accounting (counter / scheduler / syscall cycles,
+    scheduler call counts, coarse-filter pass ratios) that Table 5 and
+    Fig. 14 report. *)
+
+type t
+
+val create :
+  ?group_size:int ->
+  ?select_mode:Groups.select_mode ->
+  config:Config.t ->
+  workers:int ->
+  unit ->
+  t
+(** Defaults: [group_size = 64] (single group for ≤64 workers),
+    flow-hash level-1 selection. *)
+
+val config : t -> Config.t
+val workers : t -> int
+val groups : t -> Groups.t
+
+val hooks : t -> int -> Metrics.t
+(** The Fig. 9 instrumentation hooks for a global worker id. *)
+
+val make_prog :
+  t -> m_socket:Kernel.Ebpf_maps.Sockarray.t -> Kernel.Ebpf.prog
+(** Dispatch program for one port; [m_socket] indexed by global worker
+    id. *)
+
+val schedule_and_sync : t -> worker:int -> now:Engine.Sim_time.t -> Scheduler.result
+(** Run Algo 1 over the calling worker's group and push the bitmap to
+    the kernel through a counted map-update syscall. *)
+
+val mark_dead : t -> worker:int -> unit
+(** Force a worker's availability timestamp far into the past so
+    FilterTime excludes it immediately (used when a crash is
+    detected). *)
+
+type accounting = {
+  counter_cycles : int;  (** Table 5 "Counter" *)
+  scheduler_cycles : int;  (** Table 5 "Scheduler" *)
+  syscall_cycles : int;  (** Table 5 "System call" *)
+  scheduler_calls : int;  (** Fig. 14 call frequency numerator *)
+  sync_calls : int;
+  pass_sum : int;  (** sum of coarse-filter survivors over calls *)
+  considered_sum : int;  (** sum of workers considered over calls *)
+}
+
+val accounting : t -> accounting
+
+val pass_ratio : t -> float
+(** Average fraction of workers passing the coarse filter (Fig. 14). *)
+
+val reset_accounting : t -> unit
+
+val syscall_cost_cycles : int
+(** Modelled cost of one bpf() map-update syscall. *)

@@ -1,0 +1,71 @@
+type result = {
+  bitmap : int64;
+  passed : int;
+  total : int;
+  after_time : int;
+  cycles : int;
+}
+
+let filter_time ~threshold ~now ~times mask =
+  Array.iteri
+    (fun i alive ->
+      if alive && Engine.Sim_time.sub now times.(i) >= threshold then
+        mask.(i) <- false)
+    mask
+
+let filter_count ~theta_ratio ~values mask =
+  let sum = ref 0 and live = ref 0 in
+  Array.iteri
+    (fun i alive ->
+      if alive then begin
+        sum := !sum + values.(i);
+        incr live
+      end)
+    mask;
+  if !live > 0 then begin
+    let avg = float_of_int !sum /. float_of_int !live in
+    (* theta scales with the average (Fig. 15's theta/Avg knob) but
+       never collapses below one unit of slack, so an idle system
+       (all counters zero) still passes everyone instead of
+       degenerating to the hash fallback. *)
+    let theta = Float.max 1.0 (theta_ratio *. avg) in
+    let cutoff = avg +. theta in
+    Array.iteri
+      (fun i alive -> if alive && float_of_int values.(i) >= cutoff then mask.(i) <- false)
+      mask
+  end
+
+let count_live mask =
+  Array.fold_left (fun acc alive -> if alive then acc + 1 else acc) 0 mask
+
+(* Cycle model: 3 atomic loads per worker for the snapshot, ~4 cycles of
+   arithmetic per worker per filter stage, plus fixed overhead. *)
+let cycle_cost ~workers ~stages = 60 + (workers * ((3 * 4) + (stages * 4)))
+
+let schedule ~(config : Config.t) ~wst ~now =
+  let snapshot = Wst.read_all wst in
+  let total = min (Array.length snapshot.times) 64 in
+  let mask = Array.make total true in
+  let after_time = ref total in
+  List.iter
+    (fun filter ->
+      (match filter with
+      | Config.By_time ->
+        filter_time ~threshold:config.avail_threshold ~now ~times:snapshot.times mask;
+        after_time := count_live mask
+      | Config.By_conn ->
+        filter_count ~theta_ratio:config.theta_ratio ~values:snapshot.conns mask
+      | Config.By_event ->
+        filter_count ~theta_ratio:config.theta_ratio ~values:snapshot.events mask))
+    config.filter_order;
+  let bitmap = ref 0L in
+  Array.iteri
+    (fun i alive -> if alive then bitmap := Kernel.Bitops.set_bit !bitmap i)
+    mask;
+  {
+    bitmap = !bitmap;
+    passed = count_live mask;
+    total;
+    after_time = !after_time;
+    cycles = cycle_cost ~workers:total ~stages:(List.length config.filter_order);
+  }

@@ -1,0 +1,41 @@
+(** Cascading worker filter — Algorithm 1.
+
+    [schedule] reads the WST and applies the configured filter cascade:
+    FilterTime drops workers whose event-loop timestamp is stale
+    (hung/crashed), then FilterCount keeps workers whose connection
+    count — and, in the next stage, pending-event count — is below the
+    surviving set's average plus the θ offset.  The survivors are
+    encoded as a 64-bit bitmap (bit i = worker i selected) ready for
+    one atomic eBPF-map store.
+
+    The scheduler is O(n) in the worker count and allocation-light, as
+    §5.3.2 requires of logic embedded in every event loop. *)
+
+type result = {
+  bitmap : int64;  (** coarse-filter survivors *)
+  passed : int;  (** popcount of [bitmap] *)
+  total : int;  (** workers considered *)
+  after_time : int;  (** survivors of FilterTime (diagnostics) *)
+  cycles : int;  (** estimated cycle cost of this invocation *)
+}
+
+val schedule :
+  config:Config.t -> wst:Wst.t -> now:Engine.Sim_time.t -> result
+(** One scheduler invocation over a whole WST (a worker group under
+    two-level grouping).  Workers beyond index 63 are ignored — group
+    sizes are capped at 64 by construction. *)
+
+val filter_time :
+  threshold:Engine.Sim_time.t ->
+  now:Engine.Sim_time.t ->
+  times:Engine.Sim_time.t array ->
+  bool array ->
+  unit
+(** FilterTime (Algo 1 lines 9-10) over a live mask, in place.
+    Exposed for unit tests and ablations. *)
+
+val filter_count : theta_ratio:float -> values:int array -> bool array -> unit
+(** FilterCount (Algo 1 lines 11-13): computes the average over live
+    workers, keeps those with [value < avg + theta] where
+    [theta = max 1 (theta_ratio * avg)] — the floor keeps an idle
+    system (average zero) from filtering out every worker. *)

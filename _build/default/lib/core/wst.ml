@@ -1,0 +1,37 @@
+type t = {
+  avail : int Atomic.t array;
+  busy_cells : int Atomic.t array;
+  conn_cells : int Atomic.t array;
+}
+
+let create ~workers =
+  if workers <= 0 then invalid_arg "Wst.create: workers must be positive";
+  {
+    avail = Array.init workers (fun _ -> Atomic.make 0);
+    busy_cells = Array.init workers (fun _ -> Atomic.make 0);
+    conn_cells = Array.init workers (fun _ -> Atomic.make 0);
+  }
+
+let workers t = Array.length t.avail
+
+let set_avail t w ~now = Atomic.set t.avail.(w) now
+
+let add_busy t w delta = ignore (Atomic.fetch_and_add t.busy_cells.(w) delta)
+let add_conn t w delta = ignore (Atomic.fetch_and_add t.conn_cells.(w) delta)
+
+let avail_ts t w = Atomic.get t.avail.(w)
+let busy t w = Atomic.get t.busy_cells.(w)
+let conn t w = Atomic.get t.conn_cells.(w)
+
+type snapshot = {
+  times : Engine.Sim_time.t array;
+  events : int array;
+  conns : int array;
+}
+
+let read_all t =
+  {
+    times = Array.map Atomic.get t.avail;
+    events = Array.map Atomic.get t.busy_cells;
+    conns = Array.map Atomic.get t.conn_cells;
+  }

@@ -1,0 +1,45 @@
+(** Worker Status Table.
+
+    The WST is the shared-memory structure of §5.3.1: one column per
+    worker, three rows — the timestamp of the worker's last entry into
+    its epoll event loop, its pending-event count, and its accumulated
+    connection count.  The memory is partitioned by worker (each worker
+    writes only its own column) and every cell is an {!Atomic.t}, so
+    updates and the scheduler's full-table reads need no locks and
+    never observe torn values.  Readers may see a mix of old and new
+    columns — the benign inconsistency the paper argues is
+    acceptable. *)
+
+type t
+
+val create : workers:int -> t
+(** All availability timestamps start at 0, counts at 0. *)
+
+val workers : t -> int
+
+(** {1 Writers — called only by worker [w] itself} *)
+
+val set_avail : t -> int -> now:Engine.Sim_time.t -> unit
+val add_busy : t -> int -> int -> unit
+(** [add_busy t w delta] — positive on epoll_wait return, -1 per
+    handled event (Fig. 9 lines 14/18). *)
+
+val add_conn : t -> int -> int -> unit
+(** +1 on accept, -1 on close (Fig. 9 lines 25/37). *)
+
+(** {1 Readers} *)
+
+val avail_ts : t -> int -> Engine.Sim_time.t
+val busy : t -> int -> int
+val conn : t -> int -> int
+
+type snapshot = {
+  times : Engine.Sim_time.t array;
+  events : int array;
+  conns : int array;
+}
+
+val read_all : t -> snapshot
+(** The scheduler's Read_SHM (Algo 1 line 3): a lock-free sweep of all
+    columns.  Each cell read is individually atomic; the snapshot as a
+    whole is not, by design. *)

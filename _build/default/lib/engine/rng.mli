@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    Every experiment in this repository must be reproducible bit-for-bit,
+    so all randomness flows through explicitly seeded generators rather
+    than the global [Random] state.  The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent statistical
+    quality for simulation purposes, and trivially splittable so that
+    independent subsystems can derive independent streams from one seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Equal
+    seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy and the original
+    then evolve independently. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is statistically
+    independent of [t]'s future output.  Advances [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)

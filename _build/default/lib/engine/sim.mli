@@ -1,0 +1,51 @@
+(** Discrete-event simulation driver.
+
+    All subsystems (the TCP model, epoll, workers, workload generators,
+    probers) run as callbacks scheduled on one of these simulators.
+    Events at equal timestamps fire in scheduling order (a monotone
+    sequence number breaks ties), which makes every run deterministic. *)
+
+type t
+
+type handle
+(** Names a scheduled event so it can be cancelled (e.g. an epoll_wait
+    timeout that is preempted by an I/O event). *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val schedule : t -> at:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when virtual time reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f].
+    @raise Invalid_argument if [delay] is negative. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val is_pending : t -> handle -> bool
+
+val pending_count : t -> int
+(** Number of live (not cancelled, not fired) events. *)
+
+val step : t -> bool
+(** Fire the earliest pending event.  Returns [false] when the queue is
+    empty. *)
+
+val run : t -> unit
+(** Run until no events remain. *)
+
+val run_until : t -> limit:Sim_time.t -> unit
+(** Run events with timestamp [<= limit], then advance the clock to
+    [limit].  Events scheduled beyond [limit] stay pending. *)
+
+val stop : t -> unit
+(** Request that [run] / [run_until] return after the current event. *)
+
+val events_fired : t -> int
+(** Total events executed so far (a cheap progress metric for tests). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Common Engine Hermes Lb List Netsim Stats Workload

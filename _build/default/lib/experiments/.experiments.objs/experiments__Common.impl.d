@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Engine Hermes Lb Netsim Printf Workload

@@ -1,0 +1,1 @@
+lib/experiments/exceptions.ml: Array Cluster Common Engine Format Hermes Lb Option Printf Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/experiences.ml: Array Common Engine Float Lb List Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Cluster Common Engine Float Lb Printf Stats Workload

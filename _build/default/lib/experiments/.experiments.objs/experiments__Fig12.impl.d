@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Cluster Common Engine Printf Stats

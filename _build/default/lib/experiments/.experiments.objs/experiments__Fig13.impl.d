@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Array Common Engine Lb List Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Common Engine Hermes Lb List Printf Stats Workload

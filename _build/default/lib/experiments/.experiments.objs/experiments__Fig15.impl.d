@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Array Common Engine Hermes Lb List Printf Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Common Engine Lb List Printf Stats Workload

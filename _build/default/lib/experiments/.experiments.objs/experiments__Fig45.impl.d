@@ -1,0 +1,1 @@
+lib/experiments/fig45.ml: Array Common Engine Lb List Printf Stats Workload

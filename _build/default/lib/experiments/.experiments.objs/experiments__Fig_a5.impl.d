@@ -1,0 +1,1 @@
+lib/experiments/fig_a5.ml: Array Common Engine Lb List Printf Stats

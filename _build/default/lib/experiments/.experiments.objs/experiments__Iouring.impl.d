@@ -1,0 +1,1 @@
+lib/experiments/iouring.ml: Array Common Engine Float Lb List Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Exceptions Experiences Fig11 Fig12 Fig13 Fig14 Fig15 Fig3 Fig45 Fig7 Fig_a5 Iouring List String Table1 Table2 Table3 Table4 Table5

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Common Engine Float Lb List Stats Workload

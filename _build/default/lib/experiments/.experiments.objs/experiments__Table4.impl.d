@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array Common Engine List Stats Workload

@@ -1,0 +1,43 @@
+module Sim_time = Engine.Sim_time
+
+let seed = 0xC0FFEE
+let default_workers = 8
+
+let make_device ?(workers = default_workers) ?(tenants = 8) ?(seed = seed) ~mode
+    () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create seed in
+  let device_rng = Engine.Rng.split rng in
+  let tenant_arr = Netsim.Tenant.population ~n:tenants ~base_dport:20000 in
+  let device =
+    Lb.Device.create ~sim ~rng:device_rng ~mode ~workers ~tenants:tenant_arr ()
+  in
+  (device, rng)
+
+let hermes_default = Lb.Device.Hermes Hermes.Config.default
+
+let compared_modes =
+  [
+    ("Epoll exclusive", Lb.Device.Exclusive);
+    ("Epoll with reuseport", Lb.Device.Reuseport);
+    ("Hermes", hermes_default);
+  ]
+
+let all_modes =
+  compared_modes
+  @ [
+      ("Epoll rr", Lb.Device.Epoll_rr);
+      ("Wake-all (pre-4.5)", Lb.Device.Wake_all);
+      ("io_uring FIFO", Lb.Device.Io_uring_fifo);
+    ]
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let note s = Printf.printf "  . %s\n" s
+
+let run_case ?(quick = false) ~mode ~profile ?workers ?tenants ?seed () =
+  let device, rng = make_device ?workers ?tenants ?seed ~mode () in
+  let warmup = if quick then Sim_time.ms 500 else Sim_time.sec 1 in
+  let measure = if quick then Sim_time.sec 1 else Sim_time.sec 3 in
+  Workload.Driver.run ~device ~profile ~rng ~warmup ~measure ()

@@ -1,0 +1,180 @@
+(** §7 "Experiences" reproductions.
+
+    1. Backend round-robin restarts: after a server-list update every
+       worker restarts its cursor at the head, so the first servers are
+       hammered — visible only once Hermes spreads requests over all
+       workers (under exclusive one worker carried most traffic, hiding
+       it).  Randomized per-worker offsets fix it.
+    2. Connection reuse: spreading traffic over all workers fragments
+       per-worker backend pools; a shared pool restores reuse.
+    3. Worker-crash blast radius: under exclusive, connections
+       concentrate, so one crash resets most of the device's
+       connections; reuseport keeps steering new connections to the
+       dead worker until detection; Hermes bounds both. *)
+
+let name = "experiences"
+let title = "Deployment experiences (backend RR, conn reuse, crash radius)"
+
+module ST = Engine.Sim_time
+
+(* --- 1: synchronized round-robin restart ----------------------------- *)
+
+let rr_imbalance ~spread_workers ~randomize =
+  let servers = 16 and workers = 8 in
+  let rng = Engine.Rng.create Common.seed in
+  let backend = Lb.Backend.create ~servers ~workers ~mode:Lb.Backend.Shared () in
+  (* Steady state before the update. *)
+  for i = 0 to 9999 do
+    ignore (Lb.Backend.forward_and_release backend ~worker:(i mod workers))
+  done;
+  Lb.Backend.update_server_list backend
+    ~randomize:(if randomize then Some rng else None)
+    ();
+  Lb.Backend.reset_counters backend;
+  (* Right after the update: each worker sends a short burst.  With
+     Hermes-like spreading each worker sends only a handful of requests
+     (fewer than one rotation of the server list), so synchronized
+     cursors hammer the head of the list; with exclusive-like
+     concentration one worker wraps the list several times and the
+     skew washes out. *)
+  let total = 48 in
+  for i = 0 to total - 1 do
+    let worker =
+      if spread_workers then i mod workers
+      else if i mod 20 = 0 then 1 + (i mod (workers - 1))
+      else 0
+    in
+    ignore (Lb.Backend.forward_and_release backend ~worker)
+  done;
+  let counts = Array.map float_of_int (Lb.Backend.requests_per_server backend) in
+  let lo, hi = Stats.Summary.min_max counts in
+  (hi /. Float.max lo 1.0, Stats.Summary.coefficient_of_variation counts)
+
+(* --- 2: connection reuse across pool modes --------------------------- *)
+
+(* Handshakes needed to re-warm the pools after a flush: per-worker
+   pools must open workers * servers connections, a shared pool only
+   servers — the fragmentation cost of spreading traffic. *)
+let handshakes_after_flush ~mode ~spread_workers =
+  let servers = 16 and workers = 8 in
+  let backend = Lb.Backend.create ~servers ~workers ~mode ~idle_per_server:1 () in
+  for i = 0 to 1_999 do
+    let worker = if spread_workers then i mod workers else 0 in
+    ignore (Lb.Backend.forward_and_release backend ~worker)
+  done;
+  Lb.Backend.update_server_list backend ~randomize:None ();
+  Lb.Backend.reset_counters backend;
+  for i = 0 to 1_999 do
+    let worker = if spread_workers then i mod workers else 0 in
+    ignore (Lb.Backend.forward_and_release backend ~worker)
+  done;
+  Lb.Backend.handshakes backend
+
+(* --- 3: crash blast radius ------------------------------------------- *)
+
+let crash_radius ~mode ~quick =
+  let device, rng = Common.make_device ~workers:8 ~tenants:4 ~mode () in
+  let sim = Lb.Device.sim device in
+  Lb.Device.start device;
+  let count = if quick then 300 else 1000 in
+  let surge =
+    Workload.Surge.establish ~device ~tenant:0 ~count ~over:(ST.sec 2)
+  in
+  Engine.Sim.run_until sim ~limit:(ST.ms 2500);
+  let per_worker = Lb.Device.conns_per_worker device in
+  let victim = ref 0 in
+  Array.iteri
+    (fun i c -> if c > per_worker.(!victim) then victim := i)
+    per_worker;
+  let total_before = Array.fold_left ( + ) 0 per_worker in
+  Lb.Device.crash_worker device !victim;
+  (* Detection window: new connections keep arriving. *)
+  let lost_new = ref 0 and ok_new = ref 0 in
+  for _ = 1 to 200 do
+    let events =
+      {
+        Lb.Device.null_conn_events with
+        established = (fun conn -> incr ok_new; ignore conn);
+        dispatch_failed = (fun () -> incr lost_new);
+      }
+    in
+    ignore
+      (Engine.Sim.schedule_after sim
+         ~delay:(Engine.Rng.int rng (ST.sec 2))
+         (fun () -> Lb.Device.connect device ~tenant:0 ~events))
+  done;
+  Engine.Sim.run_until sim ~limit:(ST.ms 5000);
+  (* Detection fires: isolate, then restart. *)
+  Lb.Device.isolate_worker device !victim;
+  let resets_before = Lb.Device.conns_reset device in
+  Lb.Device.recover_worker device !victim;
+  Engine.Sim.run_until sim ~limit:(ST.ms 5500);
+  let resets = Lb.Device.conns_reset device - resets_before in
+  Workload.Surge.teardown surge;
+  Engine.Sim.run_until sim ~limit:(ST.ms 6000);
+  let stalled_new =
+    (* New connections accepted by nobody: dispatched to the dead
+       worker's socket and stuck there until isolation. *)
+    200 - !ok_new - !lost_new
+  in
+  ( float_of_int per_worker.(!victim) /. float_of_int (max 1 total_before),
+    resets,
+    stalled_new )
+
+let run ?(quick = false) () =
+  Common.section "Experiences" title;
+  (* 1 *)
+  print_string "  1. Backend RR after a server-list update (max/min, CoV):\n";
+  let t1 =
+    Stats.Table.create ~header:[ "Scenario"; "Max/Min"; "CoV" ]
+  in
+  List.iter
+    (fun (label, spread, randomize) ->
+      let ratio, cov = rr_imbalance ~spread_workers:spread ~randomize in
+      Stats.Table.add_row t1
+        [ label; Stats.Table.cell_f ratio; Stats.Table.cell_f cov ])
+    [
+      ("exclusive-like concentration, synced restart", false, false);
+      ("hermes-like spread, synced restart (bug)", true, false);
+      ("hermes-like spread, randomized offsets (fix)", true, true);
+    ];
+  Stats.Table.print t1;
+  (* 2 *)
+  print_string "  2. Backend handshakes to re-warm pools (2000 requests):\n";
+  let t2 = Stats.Table.create ~header:[ "Scenario"; "Handshakes" ] in
+  List.iter
+    (fun (label, mode, spread) ->
+      Stats.Table.add_row t2
+        [
+          label;
+          string_of_int (handshakes_after_flush ~mode ~spread_workers:spread);
+        ])
+    [
+      ("concentrated, per-worker pools", Lb.Backend.Per_worker, false);
+      ("spread, per-worker pools (regression)", Lb.Backend.Per_worker, true);
+      ("spread, shared pool (fix)", Lb.Backend.Shared, true);
+    ];
+  Stats.Table.print t2;
+  (* 3 *)
+  print_string "  3. Crash of the most-loaded worker:\n";
+  let t3 =
+    Stats.Table.create
+      ~header:
+        [ "Mode"; "Conns on victim"; "Resets at recovery"; "New conns stalled" ]
+  in
+  List.iter
+    (fun (label, mode) ->
+      let share, resets, stalled = crash_radius ~mode ~quick in
+      Stats.Table.add_row t3
+        [
+          label;
+          Stats.Table.cell_pct share;
+          string_of_int resets;
+          string_of_int stalled;
+        ])
+    Common.compared_modes;
+  Stats.Table.print t3;
+  Common.note
+    "paper: one crash under exclusive forced >70% of connections to re-establish";
+  Common.note
+    "reuseport keeps hashing new connections to the dead worker until detection"

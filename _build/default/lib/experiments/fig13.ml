@@ -1,0 +1,64 @@
+(** Fig. 13: standard deviation of per-worker CPU utilization and
+    connection counts under production-like traffic, three modes.
+
+    The paper's two-day production comparison (CPU SD 26% / 2.7% /
+    2.7%; #conn SD 3200 / 50 / 20 for exclusive / reuseport / Hermes)
+    is reproduced at compressed timescale: a mixed long-lived +
+    heavy-request workload, per-worker samples every 200 ms, SD
+    computed across workers at each sample and averaged over the
+    run. *)
+
+let name = "fig13"
+let title = "SD of per-worker CPU utilization and #connections"
+
+module ST = Engine.Sim_time
+
+let run_mode ~mode ~quick =
+  let device, rng = Common.make_device ~workers:8 ~tenants:8 ~mode () in
+  let sim = Lb.Device.sim device in
+  Lb.Device.start device;
+  let long_lived =
+    Workload.Profile.scale_rate
+      (Workload.Cases.profile Workload.Cases.Case3 ~workers:8)
+      0.5
+  in
+  let heavy =
+    Workload.Profile.scale_rate
+      (Workload.Cases.profile Workload.Cases.Case4 ~workers:8)
+      0.4
+  in
+  let d1 = Workload.Driver.start ~device ~profile:long_lived ~rng () in
+  let d2 =
+    Workload.Driver.start ~device ~profile:heavy ~rng:(Engine.Rng.split rng) ()
+  in
+  Engine.Sim.run_until sim ~limit:(ST.sec 2);
+  Lb.Device.enable_sampling device ~every:(ST.ms 200);
+  let horizon = if quick then ST.sec 8 else ST.sec 22 in
+  Engine.Sim.run_until sim ~limit:horizon;
+  Workload.Driver.stop d1;
+  Workload.Driver.stop d2;
+  let samples = Lb.Device.samples device in
+  let util_sds =
+    List.map (fun s -> Stats.Summary.stddev s.Lb.Device.util) samples
+  in
+  let conn_sds =
+    List.map
+      (fun s -> Stats.Summary.stddev (Array.map float_of_int s.Lb.Device.conns))
+      samples
+  in
+  let mean l = Stats.Summary.mean (Array.of_list l) in
+  (mean util_sds, mean conn_sds)
+
+let run ?(quick = false) () =
+  Common.section "Fig. 13" title;
+  let table =
+    Stats.Table.create ~header:[ "Mode"; "CPU util SD"; "#Connections SD" ]
+  in
+  List.iter
+    (fun (label, mode) ->
+      let util_sd, conn_sd = run_mode ~mode ~quick in
+      Stats.Table.add_row table
+        [ label; Stats.Table.cell_pct util_sd; Stats.Table.cell_f conn_sd ])
+    Common.compared_modes;
+  Stats.Table.print table;
+  Common.note "paper: CPU SD 26% / 2.7% / 2.7%; conn SD 3200 / 50 / 20 (32 workers)"

@@ -1,0 +1,58 @@
+(** Fig. 15: choosing the coarse-filter offset θ.
+
+    Sweep θ/Avg under a busy (but not collapsed) high-CPS mix with a
+    stall tail, averaging several seeds: a tiny θ admits too few
+    workers, concentrating new connections; an oversized θ admits
+    loaded workers, delaying their new connections — the paper finds
+    θ/Avg = 0.5 the sweet spot. *)
+
+let name = "fig15"
+let title = "P99 latency and throughput vs theta/Avg"
+
+module ST = Engine.Sim_time
+
+let median xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  arr.(Array.length arr / 2)
+
+let run_point ~theta ~quick =
+  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let config = { Hermes.Config.default with theta_ratio = theta } in
+  let profile =
+    Workload.Profile.scale_rate
+      (Workload.Cases.profile Workload.Cases.Case2 ~workers:8)
+      1.2
+  in
+  let results =
+    List.map
+      (fun seed ->
+        let report =
+          Common.run_case ~quick ~mode:(Lb.Device.Hermes config) ~profile
+            ~seed:(Common.seed + seed) ()
+        in
+        (report.Workload.Driver.p99_ms, report.throughput_krps))
+      seeds
+  in
+  (* median across seeds: the 1% stall tail makes single-run P99 a
+     lottery *)
+  (median (List.map fst results), median (List.map snd results))
+
+let run ?(quick = false) () =
+  Common.section "Fig. 15" title;
+  let table =
+    Stats.Table.create
+      ~header:[ "theta/Avg"; "Avg P99 (ms)"; "Throughput (kRPS)" ]
+  in
+  List.iter
+    (fun theta ->
+      let p99, thr = run_point ~theta ~quick in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.3f" theta;
+          Stats.Table.cell_f p99;
+          Stats.Table.cell_f thr;
+        ])
+    [ 0.05; 0.125; 0.25; 0.5; 1.0; 2.0 ];
+  Stats.Table.print table;
+  Common.note "paper: theta/Avg = 0.5 yields the best latency and throughput"

@@ -1,0 +1,102 @@
+(** Fig. 7: packets spread evenly over NIC queues while CPU utilization
+    stays skewed.
+
+    The same connections are fed both to a NIC model (RSS over the
+    4-tuple hash) and to an exclusive-mode device whose requests have
+    highly variable processing costs.  RSS balances {e packets} almost
+    perfectly; per-core CPU time differs by multiples — the paper's
+    argument that packet-level scheduling cannot balance L7 load. *)
+
+let name = "fig7"
+let title = "NIC queue packet balance vs CPU core utilization"
+
+module ST = Engine.Sim_time
+
+let run ?(quick = false) () =
+  Common.section "Fig. 7" title;
+  let workers = 8 in
+  let device, rng =
+    Common.make_device ~workers ~tenants:8 ~mode:Lb.Device.Exclusive ()
+  in
+  let nic = Netsim.Nic.create ~queues:workers in
+  let sim = Lb.Device.sim device in
+  Lb.Device.start device;
+  (* Custom generator: every request also contributes packets to the
+     NIC (SYN + data sized by the request). *)
+  let conns = if quick then 300 else 1000 in
+  let reqs_per_conn = 6 in
+  let proc = Engine.Dist.lognormal_of_quantiles ~p50:0.0004 ~p99:0.03 in
+  for i = 0 to conns - 1 do
+    ignore
+      (Engine.Sim.schedule_after sim ~delay:(ST.ms (3 * i)) (fun () ->
+           let tenant = i mod 8 in
+           let events =
+             {
+               Lb.Device.null_conn_events with
+               established =
+                 (fun conn ->
+                   ignore
+                     (Netsim.Nic.receive nic
+                        (Netsim.Packet.make ~tuple:conn.Lb.Conn.tuple
+                           ~kind:Netsim.Packet.Syn));
+                   for k = 1 to reqs_per_conn do
+                     ignore
+                       (Engine.Sim.schedule_after sim ~delay:(ST.ms (20 * k))
+                          (fun () ->
+                            if Lb.Conn.is_open conn then begin
+                              let size =
+                                500
+                                + Engine.Rng.int rng 3000
+                              in
+                              ignore
+                                (Netsim.Nic.receive nic
+                                   (Netsim.Packet.make ~tuple:conn.Lb.Conn.tuple
+                                      ~kind:(Netsim.Packet.Data size)));
+                              let cost =
+                                max 1
+                                  (ST.of_sec_f (Engine.Dist.sample proc rng))
+                              in
+                              let req =
+                                Lb.Request.make ~id:(Lb.Device.fresh_id device)
+                                  ~op:Lb.Request.Compress ~size ~cost
+                                  ~tenant_id:conn.Lb.Conn.tenant_id
+                              in
+                              ignore (Lb.Device.send device conn req)
+                            end))
+                   done;
+                   ignore
+                     (Engine.Sim.schedule_after sim
+                        ~delay:(ST.ms (20 * (reqs_per_conn + 2)))
+                        (fun () ->
+                          if Lb.Conn.is_open conn then
+                            Lb.Device.close_conn device conn)));
+             }
+           in
+           Lb.Device.connect device ~tenant ~events))
+  done;
+  let horizon = ST.ms ((3 * conns) + 1000) in
+  Engine.Sim.run_until sim ~limit:horizon;
+  let pkts = Array.map float_of_int (Netsim.Nic.packets_per_queue nic) in
+  let cpu =
+    Array.map
+      (fun w -> ST.to_sec_f (Lb.Worker.cpu_busy w))
+      (Lb.Device.workers device)
+  in
+  let table =
+    Stats.Table.create
+      ~header:[ "Metric"; "Max/Min ratio"; "CoV"; "Jain fairness" ]
+  in
+  let row label xs =
+    let lo, hi = Stats.Summary.min_max xs in
+    Stats.Table.add_row table
+      [
+        label;
+        Stats.Table.cell_f (if lo > 0.0 then hi /. lo else infinity);
+        Stats.Table.cell_f (Stats.Summary.coefficient_of_variation xs);
+        Stats.Table.cell_f (Stats.Summary.jain_fairness xs);
+      ]
+  in
+  row "NIC queue packets" pkts;
+  row "Worker CPU seconds" cpu;
+  Stats.Table.print table;
+  Common.note "paper: packets even across queues, CPU cores highly unbalanced"

@@ -1,0 +1,33 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+let all =
+  [
+    { id = Table1.name; title = Table1.title; run = Table1.run };
+    { id = Table2.name; title = Table2.title; run = Table2.run };
+    { id = Fig3.name; title = Fig3.title; run = Fig3.run };
+    { id = Fig45.name; title = Fig45.title; run = Fig45.run };
+    { id = Fig7.name; title = Fig7.title; run = Fig7.run };
+    { id = Table3.name; title = Table3.title; run = Table3.run };
+    { id = Table4.name; title = Table4.title; run = Table4.run };
+    { id = Fig11.name; title = Fig11.title; run = Fig11.run };
+    { id = Fig12.name; title = Fig12.title; run = Fig12.run };
+    { id = Fig13.name; title = Fig13.title; run = Fig13.run };
+    { id = Table5.name; title = Table5.title; run = Table5.run };
+    { id = Fig14.name; title = Fig14.title; run = Fig14.run };
+    { id = Fig15.name; title = Fig15.title; run = Fig15.run };
+    { id = Fig_a5.name; title = Fig_a5.title; run = Fig_a5.run };
+    { id = Ablation.name; title = Ablation.title; run = Ablation.run };
+    { id = Exceptions.name; title = Exceptions.title; run = Exceptions.run };
+    { id = Iouring.name; title = Iouring.title; run = Iouring.run };
+    { id = Experiences.name; title = Experiences.title; run = Experiences.run };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+let ids () = List.map (fun e -> e.id) all
+
+let run_all ?quick () =
+  List.iter (fun e -> e.run ?quick ()) all

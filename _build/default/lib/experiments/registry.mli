@@ -1,0 +1,14 @@
+(** Experiment registry: every table/figure regeneration, by id. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : unit -> string list
+
+val run_all : ?quick:bool -> unit -> unit
+(** Run every experiment in order, printing each banner and table. *)

@@ -1,0 +1,109 @@
+(** Table 3: the headline comparison — four traffic cases, three load
+    levels, three dispatch modes.
+
+    Methodology mirrors §6.2: a traffic trace is recorded once per case
+    and replayed at 1x / 2x / 3x ("light" / "medium" / "heavy") against
+    a fresh device per mode, so all modes see byte-identical traffic.
+    A cell is marked (x) like the paper: average latency more than 50%
+    above the best mode's, or throughput more than 20% below the
+    best. *)
+
+let name = "table3"
+let title = "Per-case performance of exclusive / reuseport / Hermes"
+
+module ST = Engine.Sim_time
+
+type cell = { avg : float; p99 : float; thr : float }
+
+let run_cell ~trace ~mode ~rate ~warmup ~measure ~seed =
+  let device, _rng = Common.make_device ~workers:8 ~tenants:64 ~seed ~mode () in
+  let sim = Lb.Device.sim device in
+  Lb.Device.start device;
+  Workload.Replay.replay trace ~device ~rate;
+  Engine.Sim.run_until sim ~limit:warmup;
+  Lb.Device.reset_measurements device;
+  let started = Engine.Sim.now sim in
+  Engine.Sim.run_until sim ~limit:(ST.add started measure);
+  let elapsed = ST.to_sec_f (ST.sub (Engine.Sim.now sim) started) in
+  let hist = Lb.Device.latency_hist device in
+  {
+    avg = Stats.Histogram.mean hist /. 1e6;
+    p99 = Stats.Histogram.percentile hist 99.0 /. 1e6;
+    thr = float_of_int (Lb.Device.completed device) /. elapsed /. 1000.0;
+  }
+
+let mark value best ~higher_is_better =
+  let bad =
+    if higher_is_better then value < 0.8 *. best else value > 1.5 *. best
+  in
+  if bad then " (x)" else ""
+
+let run ?(quick = false) () =
+  Common.section "Table 3" title;
+  let warmup = if quick then ST.ms 500 else ST.sec 1 in
+  let measure = if quick then ST.sec 1 else ST.sec 2 in
+  let trace_duration = 3 * (warmup + measure) + ST.sec 1 in
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "Case"; "Mode";
+          "L avg(ms)"; "L p99"; "L thr(kRPS)";
+          "M avg(ms)"; "M p99"; "M thr(kRPS)";
+          "H avg(ms)"; "H p99"; "H thr(kRPS)";
+        ]
+  in
+  List.iteri
+    (fun case_idx case ->
+      let profile = Workload.Cases.profile case ~workers:8 in
+      let rng = Engine.Rng.create (Common.seed + (37 * case_idx)) in
+      let trace =
+        Workload.Replay.record ~profile ~tenants:64 ~duration:trace_duration ~rng
+      in
+      (* cells.(load).(mode) *)
+      let cells =
+        List.map
+          (fun load ->
+            let rate = Workload.Cases.load_factor load in
+            List.map
+              (fun (_, mode) ->
+                run_cell ~trace ~mode ~rate ~warmup ~measure
+                  ~seed:(Common.seed + case_idx))
+              Common.compared_modes)
+          Workload.Cases.loads
+      in
+      List.iteri
+        (fun mode_idx (mode_label, _) ->
+          let row = ref [] in
+          List.iter
+            (fun load_cells ->
+              let mine = List.nth load_cells mode_idx in
+              let best_avg =
+                List.fold_left (fun acc c -> Float.min acc c.avg) infinity
+                  load_cells
+              in
+              let best_thr =
+                List.fold_left (fun acc c -> Float.max acc c.thr) 0.0 load_cells
+              in
+              row :=
+                !row
+                @ [
+                    Stats.Table.cell_f mine.avg
+                    ^ mark mine.avg best_avg ~higher_is_better:false;
+                    Stats.Table.cell_f mine.p99;
+                    Stats.Table.cell_f mine.thr
+                    ^ mark mine.thr best_thr ~higher_is_better:true;
+                  ])
+            cells;
+          let case_cell =
+            if mode_idx = 0 then Workload.Cases.name case else ""
+          in
+          Stats.Table.add_row table (case_cell :: mode_label :: !row))
+        Common.compared_modes;
+      Stats.Table.add_separator table)
+    Workload.Cases.all;
+  Stats.Table.print table;
+  Common.note "loads: light/medium/heavy = the same trace replayed at 1x/2x/3x";
+  Common.note
+    "paper shape: exclusive degrades in cases 1 & 3 (heavy), reuseport fails in cases 2 & 4";
+  Common.note "(x) = avg > 1.5x best, or throughput < 0.8x best, as in the paper"

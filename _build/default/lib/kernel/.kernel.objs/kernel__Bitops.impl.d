@@ -1,0 +1,1 @@
+lib/kernel/bitops.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/kernel/ebpf.ml: Bitops Ebpf_maps Int64 List Printf Socket

@@ -1,0 +1,1 @@
+lib/kernel/ebpf.mli: Ebpf_maps Socket

@@ -1,0 +1,1 @@
+lib/kernel/ebpf_maps.ml: Array Atomic Printf Socket

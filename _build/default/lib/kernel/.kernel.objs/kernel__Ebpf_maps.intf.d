@@ -1,0 +1,1 @@
+lib/kernel/ebpf_maps.mli: Socket

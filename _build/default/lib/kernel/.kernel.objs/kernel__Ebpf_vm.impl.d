@@ -1,0 +1,1 @@
+lib/kernel/ebpf_vm.ml: Array Bitops Buffer Ebpf Ebpf_maps Format Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/kernel/ebpf_vm.mli: Ebpf Ebpf_maps Format

@@ -1,0 +1,1 @@
+lib/kernel/epoll.ml: Hashtbl List Queue Socket

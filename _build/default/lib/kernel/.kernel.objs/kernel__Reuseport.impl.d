@@ -1,0 +1,1 @@
+lib/kernel/reuseport.ml: Array Bitops Ebpf Ebpf_vm List Netsim Socket

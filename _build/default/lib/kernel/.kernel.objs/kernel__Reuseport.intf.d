@@ -1,0 +1,1 @@
+lib/kernel/reuseport.mli: Ebpf Ebpf_vm Netsim Socket

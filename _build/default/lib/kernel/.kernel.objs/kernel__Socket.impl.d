@@ -1,0 +1,1 @@
+lib/kernel/socket.ml: Engine List Netsim Queue

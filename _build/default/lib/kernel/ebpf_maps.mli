@@ -1,0 +1,56 @@
+(** eBPF maps.
+
+    Maps are the kernel/userspace shared state of the Hermes control
+    loop: a one-element [BPF_MAP_TYPE_ARRAY] carries the 64-bit worker
+    bitmap ({i M_Sel} in Algo 1/2), and a
+    [BPF_MAP_TYPE_REUSEPORT_SOCKARRAY] maps worker ids to their
+    listening sockets ({i M_socket}).  Array values are held in
+    {!Atomic.t} cells, so concurrent userspace updates and kernel-side
+    lookups are lock-free and never observe torn values — the property
+    §5.4 relies on.
+
+    Userspace access goes through {!Syscall}, which counts
+    [bpf(BPF_MAP_UPDATE_ELEM)] invocations: Table 5 charges these
+    system calls separately from the in-kernel dispatcher. *)
+
+module Array_map : sig
+  type t
+  (** Fixed-size array of 64-bit values, all slots initialized to 0. *)
+
+  val create : name:string -> size:int -> t
+  val name : t -> string
+  val size : t -> int
+
+  val lookup : t -> int -> int64
+  (** Kernel-side [bpf_map_lookup_elem].  @raise Invalid_argument on an
+      out-of-range key (the verifier would have rejected the access). *)
+
+  val kernel_update : t -> int -> int64 -> unit
+  (** In-kernel store (not a syscall). *)
+end
+
+module Sockarray : sig
+  type t
+  (** Worker-id-indexed socket references. *)
+
+  val create : name:string -> size:int -> t
+  val name : t -> string
+  val size : t -> int
+  val set : t -> int -> Socket.t -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> Socket.t option
+end
+
+module Syscall : sig
+  val update_elem : Array_map.t -> int -> int64 -> unit
+  (** Userspace [bpf(BPF_MAP_UPDATE_ELEM)]: performs the store and
+      counts one syscall. *)
+
+  val read_elem : Array_map.t -> int -> int64
+  (** Userspace [bpf(BPF_MAP_LOOKUP_ELEM)]. *)
+
+  val count : unit -> int
+  (** Total map syscalls issued since start (or last reset). *)
+
+  val reset : unit -> unit
+end

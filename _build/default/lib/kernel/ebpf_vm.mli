@@ -1,0 +1,87 @@
+(** Register-level eBPF: bytecode, verifier, and interpreter.
+
+    {!Ebpf} gives Hermes a convenient expression language; this module
+    grounds it.  [compile] lowers an expression program to a
+    register-based instruction sequence in the image of the real ISA —
+    64-bit ALU ops, forward conditional jumps, helper calls, a ctx
+    load — with the bit-twiddling expanded {e inline}: [Popcount]
+    becomes the ~15-instruction SWAR Hamming weight and
+    [Find_nth_set] an unrolled six-level binary search over prefix
+    popcounts, exactly how such logic ships inside real
+    [SO_ATTACH_REUSEPORT_EBPF] programs (no loops, no helpers beyond
+    the kernel's own).
+
+    [verify] then enforces the real verifier's structural rules on the
+    bytecode: bounded length, strictly forward jumps (hence
+    termination), jump targets in range, no read of an uninitialized
+    register along {e any} path, and [r0] set before [exit].
+    [run] interprets verified bytecode with an executed-instruction
+    cycle count.
+
+    The differential property test in the suite checks that compiled
+    programs agree with the {!Ebpf} evaluator on random inputs. *)
+
+type reg = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+
+type alu = Add | Sub | Mul | And | Or | Xor | Lsh | Rsh | Mod
+
+type jmp = Jeq | Jne | Jlt | Jle | Jgt | Jge
+
+type helper =
+  | Map_lookup of Ebpf_maps.Array_map.t
+      (** key in r1; value to r0; faults on a bad key *)
+  | Sk_select of Ebpf_maps.Sockarray.t
+      (** index in r1; selects the socket (side effect), r0 := 0;
+          faults on an empty or out-of-range slot *)
+  | Reciprocal_scale  (** hash in r1, n in r2; result to r0 *)
+
+type insn =
+  | Mov_imm of reg * int64
+  | Mov_reg of reg * reg  (** dst, src *)
+  | Alu_imm of alu * reg * int64
+  | Alu_reg of alu * reg * reg  (** dst := dst op src *)
+  | Jmp_imm of jmp * reg * int64 * int
+      (** if (reg cmp imm) skip the next [off] instructions; [off] > 0 *)
+  | Jmp_reg of jmp * reg * reg * int
+  | Ja of int  (** unconditional forward skip *)
+  | Ld_flow_hash of reg
+  | Ld_dst_port of reg
+  | St_stack of int * reg
+      (** spill to a stack slot — Let-bound values must survive helper
+          calls (which clobber r1-r5, as in the real ABI) *)
+  | Ld_stack of reg * int
+  | Call of helper
+  | Exit  (** return r0: 1 = SK_PASS (use selection), 0 = fall back,
+              2 = drop *)
+
+val pass_code : int64
+val fallback_code : int64
+val drop_code : int64
+
+type program = insn array
+
+val pp_insn : Format.formatter -> insn -> unit
+val disassemble : program -> string
+
+val compile : Ebpf.prog -> (program, string) result
+(** Lower an expression program.  Fails only when the expression needs
+    more scratch registers than r2..r9 provide. *)
+
+type verified
+
+val verify : program -> (verified, string) result
+(** Structural rules: non-empty, bounded length, forward-only in-range
+    jumps, no read of an uninitialized register or stack slot on any
+    path, argument registers dead after calls, no fallthrough past the
+    end. *)
+
+val verify_exn : program -> verified
+val insn_count : verified -> int
+
+val run : verified -> Ebpf.ctx -> Ebpf.outcome * int
+(** Execute; the count is instructions executed (helpers cost extra).
+    Runtime faults (bad map key, empty socket slot, mod by zero,
+    oversized shift) make the program fall back, as the kernel ignores
+    a failing program. *)
+
+val compile_and_verify : Ebpf.prog -> (verified, string) result

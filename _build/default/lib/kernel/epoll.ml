@@ -1,0 +1,130 @@
+type kind = Accept_ready | Readable
+
+type event = { fd : int; kind : kind; units : int }
+
+type sub = Shared_listen of Socket.t | Dedicated_listen of Socket.t | Conn
+
+type t = {
+  owner : int;
+  mutable wakeup : unit -> unit;
+  subs : (int, sub) Hashtbl.t;
+  mutable shared_order : (int * Socket.t) list; (* registration order *)
+  pending : (int, kind * int) Hashtbl.t; (* pushed readiness: fd -> units *)
+  order : int Queue.t; (* FIFO of fds with pushed readiness *)
+  mutable scan_cost : int;
+}
+
+let create ~worker_id =
+  {
+    owner = worker_id;
+    wakeup = (fun () -> ());
+    subs = Hashtbl.create 64;
+    shared_order = [];
+    pending = Hashtbl.create 64;
+    order = Queue.create ();
+    scan_cost = 0;
+  }
+
+let worker_id t = t.owner
+let set_wakeup t f = t.wakeup <- f
+
+let add_listening t ~fd ~socket ~shared =
+  if Hashtbl.mem t.subs fd then invalid_arg "Epoll.add_listening: duplicate fd";
+  if shared then begin
+    Hashtbl.replace t.subs fd (Shared_listen socket);
+    t.shared_order <- t.shared_order @ [ (fd, socket) ]
+  end
+  else Hashtbl.replace t.subs fd (Dedicated_listen socket)
+
+let remove_listening t ~fd =
+  Hashtbl.remove t.subs fd;
+  Hashtbl.remove t.pending fd;
+  t.shared_order <- List.filter (fun (f, _) -> f <> fd) t.shared_order
+
+let add_conn t ~fd =
+  if Hashtbl.mem t.subs fd then invalid_arg "Epoll.add_conn: duplicate fd";
+  Hashtbl.replace t.subs fd Conn
+
+let remove_conn t ~fd =
+  Hashtbl.remove t.subs fd;
+  Hashtbl.remove t.pending fd
+
+let conn_count t =
+  Hashtbl.fold (fun _ s acc -> match s with Conn -> acc + 1 | _ -> acc) t.subs 0
+
+let listening_count t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s with Shared_listen _ | Dedicated_listen _ -> acc + 1 | Conn -> acc)
+    t.subs 0
+
+let push t fd kind units =
+  match Hashtbl.find_opt t.pending fd with
+  | Some (_, current) -> Hashtbl.replace t.pending fd (kind, current + units)
+  | None ->
+    Hashtbl.replace t.pending fd (kind, units);
+    Queue.push fd t.order
+
+let notify_readable t ~fd ~units =
+  if units < 0 then invalid_arg "Epoll.notify_readable: negative units";
+  match Hashtbl.find_opt t.subs fd with
+  | Some Conn when units > 0 ->
+    push t fd Readable units;
+    t.wakeup ()
+  | _ -> ()
+
+let notify_accept_ready t ~fd =
+  match Hashtbl.find_opt t.subs fd with
+  | Some (Dedicated_listen _) ->
+    push t fd Accept_ready 1;
+    t.wakeup ()
+  | _ -> ()
+
+let poke t = t.wakeup ()
+
+let wait_poll t ~max_events =
+  if max_events <= 0 then invalid_arg "Epoll.wait_poll: max_events must be positive";
+  let events = ref [] in
+  let count = ref 0 in
+  (* Pushed readiness first, FIFO over fds.  A stale queue entry
+     (readiness removed by close) is skipped. *)
+  let rec drain () =
+    if !count < max_events && not (Queue.is_empty t.order) then begin
+      let fd = Queue.pop t.order in
+      (match Hashtbl.find_opt t.pending fd with
+      | Some (Accept_ready, n) when n > 0 ->
+        (* Readiness is coalesced like real epoll: one event carrying
+           the number of queued connections. *)
+        Hashtbl.remove t.pending fd;
+        events := { fd; kind = Accept_ready; units = n } :: !events;
+        incr count
+      | Some (Readable, n) when n > 0 ->
+        Hashtbl.remove t.pending fd;
+        events := { fd; kind = Readable; units = n } :: !events;
+        incr count
+      | _ -> ());
+      drain ()
+    end
+  in
+  drain ();
+  (* Level-triggered scan over shared listening sockets. *)
+  let scanned = ref 0 in
+  List.iter
+    (fun (fd, sock) ->
+      incr scanned;
+      let backlog = Socket.backlog_len sock in
+      if !count < max_events && backlog > 0 then begin
+        events := { fd; kind = Accept_ready; units = backlog } :: !events;
+        incr count
+      end)
+    t.shared_order;
+  t.scan_cost <- !scanned;
+  List.rev !events
+
+let last_scan_cost t = t.scan_cost
+
+let pending_units t = Hashtbl.fold (fun _ (_, n) acc -> acc + n) t.pending 0
+
+let clear_pending t =
+  Hashtbl.reset t.pending;
+  Queue.clear t.order

@@ -1,0 +1,86 @@
+(** Per-worker epoll instance.
+
+    Each worker owns one instance.  Two delivery paths exist for
+    listening sockets, mirroring the two deployments:
+
+    - {b Shared} sockets (epoll-exclusive modes) are level-triggered:
+      readiness is the accept-queue depth, re-checked by scanning every
+      shared subscription at each [wait_poll].  This scan is the
+      O(#ports) connection-dispatch overhead of §6.2 Case 1.
+    - {b Dedicated} sockets (reuseport/Hermes) are push-mode: the
+      kernel dispatcher calls {!notify_accept_ready} on the owner's
+      instance when it queues a connection, so delivery is O(1) and no
+      scan happens.
+
+    Connection fds are push-mode with drain semantics: data arrivals
+    accumulate via {!notify_readable}; a [wait_poll] hands the fd over
+    with the number of pending request units and the handler drains
+    them all — the behaviour that lets a slow drain hang a worker
+    (Appendix C, exception case 1).
+
+    Blocking is the {e worker's} concern: [wait_poll] never blocks;
+    when it returns no events the worker parks itself and is resumed by
+    a wait-queue wakeup (shared socket), a {!poke}, or its epoll
+    timeout. *)
+
+type kind = Accept_ready | Readable
+
+type event = { fd : int; kind : kind; units : int }
+(** [units]: for [Readable], pending request units handed to the
+    handler; for [Accept_ready], the number of connections known to be
+    waiting in the accept queue (the handler drains up to that many —
+    nginx's multi_accept behaviour). *)
+
+type t
+
+val create : worker_id:int -> t
+val worker_id : t -> int
+
+val set_wakeup : t -> (unit -> unit) -> unit
+(** Callback fired on {!poke}, {!notify_readable} and
+    {!notify_accept_ready}; the worker uses it to leave the blocked
+    state. *)
+
+val add_listening : t -> fd:int -> socket:Socket.t -> shared:bool -> unit
+(** Register a listening socket (EPOLL_CTL_ADD).  [shared = true]
+    subscriptions are found by the level-triggered scan; dedicated ones
+    rely on {!notify_accept_ready}.  @raise Invalid_argument on a
+    duplicate fd. *)
+
+val remove_listening : t -> fd:int -> unit
+
+val add_conn : t -> fd:int -> unit
+(** Register an accepted connection fd.
+    @raise Invalid_argument on duplicate fd. *)
+
+val remove_conn : t -> fd:int -> unit
+(** EPOLL_CTL_DEL + close: discards any pending readiness. *)
+
+val conn_count : t -> int
+val listening_count : t -> int
+
+val notify_readable : t -> fd:int -> units:int -> unit
+(** Data arrived on a registered connection fd; accumulates [units]
+    and fires the wakeup callback.  Unknown fds are ignored (data
+    racing a close). *)
+
+val notify_accept_ready : t -> fd:int -> unit
+(** The dispatcher queued one connection on a dedicated listening
+    socket.  Unknown fds are ignored. *)
+
+val poke : t -> unit
+(** Fire the wakeup callback without marking anything ready. *)
+
+val wait_poll : t -> max_events:int -> event list
+(** Non-blocking poll: pushed events in arrival order (FIFO over fds),
+    then the shared-listening scan, at most [max_events] in total. *)
+
+val last_scan_cost : t -> int
+(** Shared subscriptions examined by the most recent [wait_poll] — the
+    worker charges virtual CPU for the scan. *)
+
+val pending_units : t -> int
+(** Total undelivered pushed units (diagnostics). *)
+
+val clear_pending : t -> unit
+(** Drop all pushed readiness (worker restart). *)

@@ -1,0 +1,108 @@
+type stats = {
+  selected_by_prog : int;
+  selected_by_hash : int;
+  dropped : int;
+  prog_cycles : int;
+}
+
+type prog_impl = Ast of Ebpf.verified | Vm of Ebpf_vm.verified
+
+type t = {
+  group_port : Netsim.Addr.port;
+  members : Socket.t option array;
+  mutable prog : prog_impl option;
+  mutable by_prog : int;
+  mutable by_hash : int;
+  mutable drop_count : int;
+  mutable cycles : int;
+}
+
+let create ~port ~slots =
+  if slots <= 0 || slots > 64 then
+    invalid_arg "Reuseport.create: slots must be in 1..64";
+  {
+    group_port = port;
+    members = Array.make slots None;
+    prog = None;
+    by_prog = 0;
+    by_hash = 0;
+    drop_count = 0;
+    cycles = 0;
+  }
+
+let port t = t.group_port
+let slots t = Array.length t.members
+
+let bind t ~slot ~socket =
+  if slot < 0 || slot >= Array.length t.members then
+    invalid_arg "Reuseport.bind: slot out of range";
+  if t.members.(slot) <> None then invalid_arg "Reuseport.bind: slot taken";
+  if Socket.port socket <> t.group_port then
+    invalid_arg "Reuseport.bind: socket port differs from group port";
+  t.members.(slot) <- Some socket
+
+let unbind t ~slot =
+  if slot < 0 || slot >= Array.length t.members then
+    invalid_arg "Reuseport.unbind: slot out of range";
+  t.members.(slot) <- None
+
+let member t ~slot = t.members.(slot)
+
+let live_count t =
+  Array.fold_left (fun acc m -> if m = None then acc else acc + 1) 0 t.members
+
+let attach_ebpf t prog = t.prog <- Some (Ast prog)
+let attach_vm t prog = t.prog <- Some (Vm prog)
+let detach_ebpf t = t.prog <- None
+
+(* Default kernel behaviour: index the live members (bind order) by
+   reciprocal_scale of the flow hash. *)
+let hash_select t ~flow_hash =
+  let live =
+    Array.to_list t.members |> List.filter_map (fun m -> m)
+  in
+  match live with
+  | [] -> None
+  | _ ->
+    let n = List.length live in
+    let idx = Bitops.reciprocal_scale ~hash:flow_hash ~n in
+    Some (List.nth live idx)
+
+let select t ~flow_hash =
+  let fallback () =
+    match hash_select t ~flow_hash with
+    | None -> None
+    | Some sock ->
+      t.by_hash <- t.by_hash + 1;
+      Some sock
+  in
+  match t.prog with
+  | None -> fallback ()
+  | Some prog -> (
+    let ctx = { Ebpf.flow_hash; dst_port = t.group_port } in
+    let outcome, cycles =
+      match prog with Ast p -> Ebpf.run p ctx | Vm p -> Ebpf_vm.run p ctx
+    in
+    t.cycles <- t.cycles + cycles;
+    match outcome with
+    | Ebpf.Selected sock ->
+      t.by_prog <- t.by_prog + 1;
+      Some sock
+    | Ebpf.Fell_back -> fallback ()
+    | Ebpf.Dropped ->
+      t.drop_count <- t.drop_count + 1;
+      None)
+
+let stats t =
+  {
+    selected_by_prog = t.by_prog;
+    selected_by_hash = t.by_hash;
+    dropped = t.drop_count;
+    prog_cycles = t.cycles;
+  }
+
+let reset_stats t =
+  t.by_prog <- 0;
+  t.by_hash <- 0;
+  t.drop_count <- 0;
+  t.cycles <- 0

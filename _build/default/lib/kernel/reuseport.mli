@@ -1,0 +1,56 @@
+(** Reuseport socket group.
+
+    All dedicated sockets bound to one port with [SO_REUSEPORT] form a
+    group; the kernel picks one socket per incoming SYN.  Default
+    selection is stateless hashing —
+    [socks\[reciprocal_scale(flow_hash, n)\]] — which balances new
+    connections in expectation but is blind to worker state: a hung
+    worker's socket keeps receiving its share until something removes
+    it (§2.2).  A verified eBPF program attached via
+    [SO_ATTACH_REUSEPORT_EBPF] overrides the default; if the program
+    falls back or faults, the default hash selection applies — the
+    safety net Hermes relies on when too few workers pass the coarse
+    filter. *)
+
+type t
+
+val create : port:Netsim.Addr.port -> slots:int -> t
+(** A group with capacity for [slots] member sockets (slot = worker
+    id). *)
+
+val port : t -> Netsim.Addr.port
+val slots : t -> int
+
+val bind : t -> slot:int -> socket:Socket.t -> unit
+(** Add a member socket.  @raise Invalid_argument if the slot is taken
+    or out of range, or the socket's port differs from the group's. *)
+
+val unbind : t -> slot:int -> unit
+(** Remove a member (socket closed, e.g. worker process exited). *)
+
+val member : t -> slot:int -> Socket.t option
+val live_count : t -> int
+
+val attach_ebpf : t -> Ebpf.verified -> unit
+(** Attach / replace the selection program (expression-interpreter
+    backend). *)
+
+val attach_vm : t -> Ebpf_vm.verified -> unit
+(** Attach compiled bytecode instead — same semantics, executed by the
+    register VM of {!Ebpf_vm}. *)
+
+val detach_ebpf : t -> unit
+
+val select : t -> flow_hash:int -> Socket.t option
+(** Socket selection for one SYN.  [None] when the group is empty or
+    the program dropped the packet. *)
+
+type stats = {
+  selected_by_prog : int;
+  selected_by_hash : int;
+  dropped : int;
+  prog_cycles : int; (** cumulative eBPF cycles — Table 5's dispatcher row *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,68 @@
+type pending_conn = {
+  seq : int;  (* device-wide connection sequence number *)
+  tuple : Netsim.Addr.four_tuple;
+  flow_hash : int;
+  tenant_id : int;
+  syn_time : Engine.Sim_time.t;
+}
+
+type t = {
+  sock_id : int;
+  listen_port : Netsim.Addr.port;
+  backlog : int;
+  queue : pending_conn Queue.t;
+  mutable queued : int;
+  mutable dropped : int;
+  mutable accepted : int;
+  mutable closed : bool;
+}
+
+let next_id = ref 0
+
+let create_listen ~port ~backlog =
+  if backlog <= 0 then invalid_arg "Socket.create_listen: backlog must be positive";
+  incr next_id;
+  {
+    sock_id = !next_id;
+    listen_port = port;
+    backlog;
+    queue = Queue.create ();
+    queued = 0;
+    dropped = 0;
+    accepted = 0;
+    closed = false;
+  }
+
+let id t = t.sock_id
+let port t = t.listen_port
+
+let push t conn =
+  if t.closed || Queue.length t.queue >= t.backlog then begin
+    t.dropped <- t.dropped + 1;
+    `Dropped
+  end
+  else begin
+    Queue.push conn t.queue;
+    t.queued <- t.queued + 1;
+    `Queued
+  end
+
+let accept t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some conn ->
+    t.accepted <- t.accepted + 1;
+    Some conn
+
+let backlog_len t = Queue.length t.queue
+let total_queued t = t.queued
+let total_dropped t = t.dropped
+let total_accepted t = t.accepted
+
+let close t =
+  t.closed <- true;
+  let drained = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  drained
+
+let is_closed t = t.closed

@@ -1,0 +1,49 @@
+(** Listening sockets and their accept queues.
+
+    A listening socket holds connections that completed the TCP
+    handshake but have not yet been [accept]ed by a userspace worker.
+    Shared sockets (one per port, all workers registered on its wait
+    queue) model the epoll-exclusive deployment; dedicated sockets (one
+    per worker per port, grouped by {!Reuseport}) model the
+    reuseport/Hermes deployments. *)
+
+type pending_conn = {
+  seq : int;  (* device-wide connection sequence number *)
+  tuple : Netsim.Addr.four_tuple;
+  flow_hash : int;
+  tenant_id : int;
+  syn_time : Engine.Sim_time.t;
+}
+(** A handshake-complete connection awaiting accept. *)
+
+type t
+
+val create_listen : port:Netsim.Addr.port -> backlog:int -> t
+(** [backlog] bounds the accept queue, like [listen(2)]'s argument;
+    overflowing connections are dropped (SYN drop => client timeout). *)
+
+val id : t -> int
+(** Process-wide unique socket id (think inode number); lets callers
+    key tables by socket. *)
+
+val port : t -> Netsim.Addr.port
+
+val push : t -> pending_conn -> [ `Queued | `Dropped ]
+(** Handshake completion: enqueue the connection (kernel side).  The
+    caller is responsible for then waking the socket's waiters. *)
+
+val accept : t -> pending_conn option
+(** Dequeue the oldest pending connection, [None] if the queue is
+    empty (a spurious wakeup). *)
+
+val backlog_len : t -> int
+val total_queued : t -> int
+val total_dropped : t -> int
+val total_accepted : t -> int
+
+val close : t -> pending_conn list
+(** Mark the socket dead and drain the queue; the caller decides what
+    to do with the orphaned connections (e.g. count them as reset when
+    a worker crashes). *)
+
+val is_closed : t -> bool

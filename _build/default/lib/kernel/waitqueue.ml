@@ -1,0 +1,63 @@
+type mode = Lifo_exclusive | Roundrobin_exclusive | Wake_all | Fifo_exclusive
+
+type waiter = { id : int; try_wake : unit -> bool }
+
+type t = {
+  queue_mode : mode;
+  mutable entries : waiter list; (* head = first tried *)
+  mutable steps : int;
+  mutable woken : int;
+}
+
+let create queue_mode = { queue_mode; entries = []; steps = 0; woken = 0 }
+let mode t = t.queue_mode
+
+let register t ~id ~try_wake =
+  if List.exists (fun w -> w.id = id) t.entries then
+    invalid_arg "Waitqueue.register: id already registered";
+  t.entries <- { id; try_wake } :: t.entries
+
+let unregister t ~id =
+  t.entries <- List.filter (fun w -> w.id <> id) t.entries
+
+let move_to_tail t id =
+  match List.partition (fun w -> w.id = id) t.entries with
+  | [ w ], rest -> t.entries <- rest @ [ w ]
+  | _ -> ()
+
+let wake t =
+  match t.queue_mode with
+  | Wake_all ->
+    let woken = ref 0 in
+    List.iter
+      (fun w ->
+        t.steps <- t.steps + 1;
+        if w.try_wake () then incr woken)
+      t.entries;
+    t.woken <- t.woken + !woken;
+    !woken
+  | Lifo_exclusive | Roundrobin_exclusive | Fifo_exclusive ->
+    let rec walk = function
+      | [] -> 0
+      | w :: rest ->
+        t.steps <- t.steps + 1;
+        if w.try_wake () then begin
+          if t.queue_mode = Roundrobin_exclusive then move_to_tail t w.id;
+          1
+        end
+        else walk rest
+    in
+    let order =
+      (* FIFO walks from the oldest registration; head-insertion makes
+         that the reverse of the stored list. *)
+      match t.queue_mode with
+      | Fifo_exclusive -> List.rev t.entries
+      | Lifo_exclusive | Roundrobin_exclusive | Wake_all -> t.entries
+    in
+    let woken = walk order in
+    t.woken <- t.woken + woken;
+    woken
+
+let order t = List.map (fun w -> w.id) t.entries
+let traversal_steps t = t.steps
+let wakeups t = t.woken

@@ -1,0 +1,1 @@
+lib/lb/backend.ml: Array Engine

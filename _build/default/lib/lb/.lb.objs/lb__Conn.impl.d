@@ -1,0 +1,1 @@
+lib/lb/conn.ml: Engine Format List Netsim Queue Request

@@ -1,0 +1,1 @@
+lib/lb/conn.mli: Engine Format Netsim Queue Request

@@ -1,0 +1,1 @@
+lib/lb/cost.mli: Engine

@@ -1,0 +1,1 @@
+lib/lb/device.ml: Array Conn Cost Engine Float Hashtbl Hermes Kernel List Netsim Printf Request Stats Worker

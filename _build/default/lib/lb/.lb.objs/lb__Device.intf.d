@@ -1,0 +1,1 @@
+lib/lb/device.mli: Conn Engine Hermes Netsim Request Stats Worker

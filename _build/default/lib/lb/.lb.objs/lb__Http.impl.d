@@ -1,0 +1,1 @@
+lib/lb/http.ml: Buffer List Printf String

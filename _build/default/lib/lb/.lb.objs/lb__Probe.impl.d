@@ -1,0 +1,1 @@
+lib/lb/probe.ml: Array Conn Device Engine Netsim Request Stats Worker

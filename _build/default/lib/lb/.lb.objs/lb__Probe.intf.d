@@ -1,0 +1,1 @@
+lib/lb/probe.mli: Device Engine Stats

@@ -1,0 +1,1 @@
+lib/lb/release.ml: Device Engine List Worker

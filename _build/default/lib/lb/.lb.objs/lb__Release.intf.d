@@ -1,0 +1,1 @@
+lib/lb/release.mli: Device Engine

@@ -1,0 +1,1 @@
+lib/lb/request.ml: Cost Engine Format

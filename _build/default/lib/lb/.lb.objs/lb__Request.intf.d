@@ -1,0 +1,1 @@
+lib/lb/request.mli: Engine Format

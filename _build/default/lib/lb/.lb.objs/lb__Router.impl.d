@@ -1,0 +1,1 @@
+lib/lb/router.ml: Array Engine Http String

@@ -1,0 +1,1 @@
+lib/lb/router.mli: Engine Http

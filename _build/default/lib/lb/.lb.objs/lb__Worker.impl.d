@@ -1,0 +1,1 @@
+lib/lb/worker.ml: Conn Cost Engine Hashtbl Hermes Kernel List Netsim Option Request Stats

@@ -1,0 +1,1 @@
+lib/lb/worker.mli: Conn Engine Hermes Kernel Request Stats

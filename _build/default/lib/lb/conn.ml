@@ -1,0 +1,60 @@
+type state = Established | Closed | Reset
+
+type t = {
+  id : int;
+  fd : int;
+  tuple : Netsim.Addr.four_tuple;
+  tenant_id : int;
+  worker_id : int;
+  established : Engine.Sim_time.t;
+  mutable state : state;
+  inbox : Request.t Queue.t;
+  mutable inflight : int;
+  mutable requests_done : int;
+}
+
+let make ~id ~fd ~tuple ~tenant_id ~worker_id ~established =
+  {
+    id;
+    fd;
+    tuple;
+    tenant_id;
+    worker_id;
+    established;
+    state = Established;
+    inbox = Queue.create ();
+    inflight = 0;
+    requests_done = 0;
+  }
+
+let deliver t req ~now =
+  if t.state <> Established then false
+  else begin
+    req.Request.arrival <- now;
+    Queue.push req t.inbox;
+    t.inflight <- t.inflight + 1;
+    true
+  end
+
+let take t n =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.inbox with
+      | None -> List.rev acc
+      | Some req ->
+        t.inflight <- t.inflight - 1;
+        go (n - 1) (req :: acc)
+  in
+  go (max 0 n) []
+
+let is_open t = t.state = Established
+
+let state_name = function
+  | Established -> "established"
+  | Closed -> "closed"
+  | Reset -> "reset"
+
+let pp fmt t =
+  Format.fprintf fmt "conn#%d fd=%d worker=%d tenant=%d %s" t.id t.fd
+    t.worker_id t.tenant_id (state_name t.state)

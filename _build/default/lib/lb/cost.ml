@@ -1,0 +1,14 @@
+let ns_per_cycle = 1.0 /. 3.0
+
+let cycles_to_time c = Engine.Sim_time.of_sec_f (float_of_int c *. ns_per_cycle *. 1e-9)
+
+let poll_base = Engine.Sim_time.ns 600
+let poll_per_shared_listen = Engine.Sim_time.ns 60
+let wake_latency = Engine.Sim_time.us 2
+let accept_cost = Engine.Sim_time.ns 1500
+let close_cost = Engine.Sim_time.ns 800
+let client_rtt = Engine.Sim_time.us 100
+
+let of_bytes ~op_base ~per_kb size =
+  if size < 0 then invalid_arg "Cost.of_bytes: negative size";
+  Engine.Sim_time.add op_base (per_kb * size / 1024)

@@ -1,0 +1,39 @@
+(** Virtual CPU cost model.
+
+    All charges are in simulated nanoseconds on the worker's pinned
+    core.  Fixed costs follow published magnitudes for the operations
+    (syscall entry, context switch, connection setup); L7 request
+    processing costs are supplied by the workload generators and
+    dominate, as §3 observes ("the kernel is no longer the bottleneck
+    for L7 workloads"). *)
+
+val ns_per_cycle : float
+(** A 3 GHz core. *)
+
+val cycles_to_time : int -> Engine.Sim_time.t
+
+val poll_base : Engine.Sim_time.t
+(** Fixed epoll_wait cost when events are returned. *)
+
+val poll_per_shared_listen : Engine.Sim_time.t
+(** Per-subscription cost of the shared-socket level-triggered scan —
+    multiplied by #ports, this is the O(#ports) dispatch overhead of
+    epoll exclusive. *)
+
+val wake_latency : Engine.Sim_time.t
+(** Wakeup + context switch before a blocked worker runs again. *)
+
+val accept_cost : Engine.Sim_time.t
+(** accept(2) + conn_fd setup + epoll_ctl(ADD). *)
+
+val close_cost : Engine.Sim_time.t
+(** epoll_ctl(DEL) + close(2). *)
+
+val client_rtt : Engine.Sim_time.t
+(** Fixed client <-> LB network component added to end-to-end
+    latencies. *)
+
+val of_bytes : op_base:Engine.Sim_time.t -> per_kb:Engine.Sim_time.t -> int ->
+  Engine.Sim_time.t
+(** Simple size-proportional processing cost:
+    [op_base + per_kb * size/1024]. *)

@@ -1,0 +1,535 @@
+module Sim = Engine.Sim
+module Sim_time = Engine.Sim_time
+
+type mode =
+  | Exclusive
+  | Epoll_rr
+  | Wake_all
+  | Io_uring_fifo
+  | Reuseport
+  | Hermes of Hermes.Config.t
+
+let mode_name = function
+  | Exclusive -> "exclusive"
+  | Epoll_rr -> "epoll-rr"
+  | Wake_all -> "wake-all"
+  | Io_uring_fifo -> "io_uring-fifo"
+  | Reuseport -> "reuseport"
+  | Hermes _ -> "hermes"
+
+type conn_events = {
+  established : Conn.t -> unit;
+  request_done : Conn.t -> Request.t -> unit;
+  closed : Conn.t -> unit;
+  reset : Conn.t -> unit;
+  dispatch_failed : unit -> unit;
+}
+
+let null_conn_events =
+  {
+    established = (fun _ -> ());
+    request_done = (fun _ _ -> ());
+    closed = (fun _ -> ());
+    reset = (fun _ -> ());
+    dispatch_failed = (fun () -> ());
+  }
+
+type port_plumbing =
+  | Shared of { socket : Kernel.Socket.t; wq : Kernel.Waitqueue.t }
+  | Dedicated of {
+      group : Kernel.Reuseport.t;
+      sockarray : Kernel.Ebpf_maps.Sockarray.t;
+    }
+
+type meta = { events : conn_events; syn_time : Sim_time.t }
+
+type sample = { at : Sim_time.t; util : float array; conns : int array }
+
+type t = {
+  sim : Sim.t;
+  rng : Engine.Rng.t;
+  dev_mode : mode;
+  tenant_arr : Netsim.Tenant.t array;
+  mutable workers_arr : Worker.t array;
+  ports : (int, port_plumbing) Hashtbl.t; (* dport -> plumbing *)
+  sock_owner : (int, int * int) Hashtbl.t; (* socket id -> (worker, fd) *)
+  isolated : bool array;
+  metas : (int, meta) Hashtbl.t; (* conn seq -> meta *)
+  hermes_rt : Hermes.Runtime.t option;
+  backlog : int;
+  mutable next_seq : int;
+  mutable next_fd : int;
+  mutable next_id : int;
+  lat : Stats.Histogram.t;
+  estab_lat : Stats.Histogram.t;
+  mutable completed_count : int;
+  mutable drop_count : int;
+  mutable reset_count : int;
+  mutable samples_rev : sample list;
+  mutable sampling_prev : Sim_time.t array;
+  (* per-tenant accounting (indexed like [tenant_arr]) for overload
+     attribution: connection arrivals and CPU consumed *)
+  tenant_conns : int array;
+  tenant_cpu : Sim_time.t array;
+  tenant_index_of_id : (int, int) Hashtbl.t;
+  quarantined : bool array;
+  vip : Netsim.Addr.ip;
+}
+
+let sim t = t.sim
+let device_mode t = t.dev_mode
+let worker_count t = Array.length t.workers_arr
+let worker t i = t.workers_arr.(i)
+let workers t = t.workers_arr
+let tenants t = t.tenant_arr
+let hermes_runtime t = t.hermes_rt
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let alloc_fd t () =
+  t.next_fd <- t.next_fd + 1;
+  t.next_fd
+
+let meta_of t conn = Hashtbl.find_opt t.metas conn.Conn.id
+
+let tenant_index t tenant_id =
+  Hashtbl.find_opt t.tenant_index_of_id tenant_id
+
+let handle_established t conn =
+  (match tenant_index t conn.Conn.tenant_id with
+  | Some i -> t.tenant_conns.(i) <- t.tenant_conns.(i) + 1
+  | None -> ());
+  match meta_of t conn with
+  | Some m ->
+    Stats.Histogram.record t.estab_lat
+      (float_of_int (Sim_time.sub (Sim.now t.sim) m.syn_time));
+    m.events.established conn
+  | None -> ()
+
+let handle_request_done t conn req =
+  Stats.Histogram.record t.lat
+    (float_of_int (Sim_time.sub (Sim.now t.sim) req.Request.arrival + Cost.client_rtt));
+  t.completed_count <- t.completed_count + 1;
+  (match tenant_index t conn.Conn.tenant_id with
+  | Some i -> t.tenant_cpu.(i) <- Sim_time.add t.tenant_cpu.(i) req.Request.cost
+  | None -> ());
+  match meta_of t conn with
+  | Some m -> m.events.request_done conn req
+  | None -> ()
+
+let handle_closed t conn =
+  match meta_of t conn with
+  | Some m ->
+    Hashtbl.remove t.metas conn.Conn.id;
+    m.events.closed conn
+  | None -> ()
+
+let handle_reset t conn =
+  t.reset_count <- t.reset_count + 1;
+  match meta_of t conn with
+  | Some m ->
+    Hashtbl.remove t.metas conn.Conn.id;
+    m.events.reset conn
+  | None -> ()
+
+let wq_mode = function
+  | Exclusive -> Kernel.Waitqueue.Lifo_exclusive
+  | Epoll_rr -> Kernel.Waitqueue.Roundrobin_exclusive
+  | Wake_all -> Kernel.Waitqueue.Wake_all
+  | Io_uring_fifo -> Kernel.Waitqueue.Fifo_exclusive
+  | Reuseport | Hermes _ -> invalid_arg "wq_mode: not a shared mode"
+
+let is_shared = function
+  | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo -> true
+  | Reuseport | Hermes _ -> false
+
+let bind_dedicated t ~port ~group ~sockarray ~worker_id =
+  let sock = Kernel.Socket.create_listen ~port ~backlog:t.backlog in
+  Kernel.Reuseport.bind group ~slot:worker_id ~socket:sock;
+  Kernel.Ebpf_maps.Sockarray.set sockarray worker_id sock;
+  let fd = Worker.listen_dedicated t.workers_arr.(worker_id) ~socket:sock in
+  Hashtbl.replace t.sock_owner (Kernel.Socket.id sock) (worker_id, fd)
+
+let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
+    ?(hermes_group_size = 64) ?(hermes_select_mode = Hermes.Groups.By_flow_hash)
+    ?(stagger_registration = false) () =
+  if workers <= 0 then invalid_arg "Device.create: workers must be positive";
+  if Array.length tenants = 0 then invalid_arg "Device.create: no tenants";
+  let hermes_rt =
+    match mode with
+    | Hermes config ->
+      Some
+        (Hermes.Runtime.create ~group_size:hermes_group_size
+           ~select_mode:hermes_select_mode ~config ~workers ())
+    | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo | Reuseport -> None
+  in
+  let worker_config =
+    match (worker_config, mode) with
+    | Some c, _ -> c
+    | None, Hermes cfg ->
+      {
+        Worker.default_config with
+        epoll_timeout = cfg.Hermes.Config.epoll_timeout;
+        max_events = cfg.Hermes.Config.max_events;
+      }
+    | None, _ -> Worker.default_config
+  in
+  let t =
+    {
+      sim;
+      rng;
+      dev_mode = mode;
+      tenant_arr = tenants;
+      workers_arr = [||];
+      ports = Hashtbl.create 64;
+      sock_owner = Hashtbl.create 256;
+      isolated = Array.make workers false;
+      metas = Hashtbl.create 4096;
+      hermes_rt;
+      backlog;
+      next_seq = 0;
+      next_fd = 0;
+      next_id = 0;
+      lat = Stats.Histogram.create ();
+      estab_lat = Stats.Histogram.create ();
+      completed_count = 0;
+      drop_count = 0;
+      reset_count = 0;
+      samples_rev = [];
+      sampling_prev = Array.make workers 0;
+      tenant_conns = Array.make (Array.length tenants) 0;
+      tenant_cpu = Array.make (Array.length tenants) 0;
+      tenant_index_of_id =
+        (let h = Hashtbl.create (Array.length tenants) in
+         Array.iteri (fun i (tn : Netsim.Tenant.t) -> Hashtbl.replace h tn.id i) tenants;
+         h);
+      quarantined = Array.make (Array.length tenants) false;
+      vip = Netsim.Addr.ip_of_string "10.200.0.1";
+    }
+  in
+  let callbacks =
+    {
+      Worker.on_established = handle_established t;
+      on_request_done = handle_request_done t;
+      on_conn_closed = handle_closed t;
+      on_conn_reset = handle_reset t;
+    }
+  in
+  t.workers_arr <-
+    Array.init workers (fun i ->
+        Worker.create ~sim ~id:i ~config:worker_config ~alloc_fd:(alloc_fd t)
+          ~callbacks ?hermes:hermes_rt ());
+  (* Per-tenant-port plumbing. *)
+  Array.iteri
+    (fun port_idx (tn : Netsim.Tenant.t) ->
+      let port = tn.dport in
+      if is_shared mode then begin
+        let socket = Kernel.Socket.create_listen ~port ~backlog in
+        let wq = Kernel.Waitqueue.create (wq_mode mode) in
+        for i = 0 to workers - 1 do
+          let w = if stagger_registration then (i + port_idx) mod workers else i in
+          ignore (Worker.listen_shared t.workers_arr.(w) ~socket);
+          Kernel.Waitqueue.register wq ~id:w ~try_wake:(fun () ->
+              Worker.try_wake t.workers_arr.(w))
+        done;
+        Hashtbl.replace t.ports port (Shared { socket; wq })
+      end
+      else begin
+        let group = Kernel.Reuseport.create ~port ~slots:workers in
+        let sockarray =
+          Kernel.Ebpf_maps.Sockarray.create
+            ~name:(Printf.sprintf "M_socket_p%d" port)
+            ~size:workers
+        in
+        for w = 0 to workers - 1 do
+          bind_dedicated t ~port ~group ~sockarray ~worker_id:w
+        done;
+        (match hermes_rt with
+        | Some rt ->
+          let prog = Hermes.Runtime.make_prog rt ~m_socket:sockarray in
+          if (Hermes.Runtime.config rt).Hermes.Config.kernel_bytecode then
+            match Kernel.Ebpf_vm.compile_and_verify prog with
+            | Ok vm -> Kernel.Reuseport.attach_vm group vm
+            | Error msg -> invalid_arg ("Device.create: " ^ msg)
+          else Kernel.Reuseport.attach_ebpf group (Kernel.Ebpf.verify_exn prog)
+        | None -> ());
+        Hashtbl.replace t.ports port (Dedicated { group; sockarray })
+      end)
+    tenants;
+  t
+
+let start t = Array.iter Worker.start t.workers_arr
+
+let dispatch_failed t seq events =
+  Hashtbl.remove t.metas seq;
+  t.drop_count <- t.drop_count + 1;
+  events.dispatch_failed ()
+
+let connect t ~tenant ~events =
+  let tn = t.tenant_arr.(tenant) in
+  if t.quarantined.(tenant) then begin
+    t.drop_count <- t.drop_count + 1;
+    events.dispatch_failed ()
+  end
+  else begin
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  let tuple =
+    {
+      Netsim.Addr.src_ip = Engine.Rng.int t.rng 0x3FFFFFFF;
+      src_port = 1024 + Engine.Rng.int t.rng 64511;
+      dst_ip = t.vip;
+      dst_port = tn.dport;
+    }
+  in
+  let flow_hash = Netsim.Flow_hash.of_four_tuple tuple in
+  let now = Sim.now t.sim in
+  Hashtbl.replace t.metas seq { events; syn_time = now };
+  let pending =
+    { Kernel.Socket.seq; tuple; flow_hash; tenant_id = tn.id; syn_time = now }
+  in
+  match Hashtbl.find_opt t.ports tn.dport with
+  | None -> dispatch_failed t seq events
+  | Some (Shared { socket; wq }) -> (
+    match Kernel.Socket.push socket pending with
+    | `Dropped -> dispatch_failed t seq events
+    | `Queued -> ignore (Kernel.Waitqueue.wake wq))
+  | Some (Dedicated { group; _ }) -> (
+    match Kernel.Reuseport.select group ~flow_hash with
+    | None -> dispatch_failed t seq events
+    | Some sock -> (
+      match Kernel.Socket.push sock pending with
+      | `Dropped -> dispatch_failed t seq events
+      | `Queued ->
+        let w, fd = Hashtbl.find t.sock_owner (Kernel.Socket.id sock) in
+        Kernel.Epoll.notify_accept_ready (Worker.epoll t.workers_arr.(w)) ~fd))
+  end
+
+let send t conn req = Worker.deliver t.workers_arr.(conn.Conn.worker_id) conn req
+
+let close_conn t conn =
+  let marker = Request.close_marker ~id:(fresh_id t) ~tenant_id:conn.Conn.tenant_id in
+  ignore (send t conn marker)
+
+let probe_once t ~tenant ~timeout ~on_result =
+  let started = Sim.now t.sim in
+  let finished = ref false in
+  let timeout_handle = ref None in
+  let finish result =
+    if not !finished then begin
+      finished := true;
+      (match !timeout_handle with
+      | Some h -> Sim.cancel t.sim h
+      | None -> ());
+      on_result result
+    end
+  in
+  timeout_handle :=
+    Some (Sim.schedule_after t.sim ~delay:timeout (fun () -> finish None));
+  let tn = t.tenant_arr.(tenant) in
+  let events =
+    {
+      established =
+        (fun conn ->
+          let req =
+            Request.make ~id:(fresh_id t) ~op:Request.Plain_proxy ~size:64
+              ~cost:(Sim_time.us 10) ~tenant_id:tn.id
+          in
+          ignore (send t conn req));
+      request_done =
+        (fun conn _ ->
+          finish (Some (Sim_time.sub (Sim.now t.sim) started));
+          close_conn t conn);
+      closed = (fun _ -> ());
+      reset = (fun _ -> finish None);
+      dispatch_failed = (fun () -> finish None);
+    }
+  in
+  connect t ~tenant ~events
+
+let crash_worker t w = Worker.crash t.workers_arr.(w)
+
+let isolate_worker t w =
+  if not t.isolated.(w) then begin
+    t.isolated.(w) <- true;
+    (match t.hermes_rt with
+    | Some rt -> Hermes.Runtime.mark_dead rt ~worker:w
+    | None -> ());
+    Hashtbl.iter
+      (fun _port plumbing ->
+        match plumbing with
+        | Shared { wq; _ } -> Kernel.Waitqueue.unregister wq ~id:w
+        | Dedicated { group; sockarray } -> (
+          match Kernel.Reuseport.member group ~slot:w with
+          | None -> ()
+          | Some sock ->
+            Kernel.Reuseport.unbind group ~slot:w;
+            Kernel.Ebpf_maps.Sockarray.clear sockarray w;
+            Hashtbl.remove t.sock_owner (Kernel.Socket.id sock);
+            (* Handshake-complete but never-accepted connections are
+               reset when the socket closes. *)
+            let orphans = Kernel.Socket.close sock in
+            List.iter
+              (fun (p : Kernel.Socket.pending_conn) ->
+                match Hashtbl.find_opt t.metas p.seq with
+                | Some m ->
+                  Hashtbl.remove t.metas p.seq;
+                  t.reset_count <- t.reset_count + 1;
+                  m.events.dispatch_failed ()
+                | None -> ())
+              orphans))
+      t.ports
+  end
+
+let recover_worker t w =
+  Worker.restart t.workers_arr.(w);
+  if t.isolated.(w) then begin
+    t.isolated.(w) <- false;
+    Hashtbl.iter
+      (fun port plumbing ->
+        match plumbing with
+        | Shared { socket; wq } ->
+          ignore port;
+          ignore socket;
+          Kernel.Waitqueue.register wq ~id:w ~try_wake:(fun () ->
+              Worker.try_wake t.workers_arr.(w))
+        | Dedicated { group; sockarray } ->
+          bind_dedicated t ~port ~group ~sockarray ~worker_id:w)
+      t.ports
+  end
+
+let inject_hang t ~worker ~duration =
+  let w = t.workers_arr.(worker) in
+  let tenant_id = t.tenant_arr.(0).id in
+  let conn = Worker.adopt_conn w ~tenant_id in
+  let req =
+    Request.make ~id:(fresh_id t) ~op:Request.Websocket_frame ~size:0
+      ~cost:duration ~tenant_id
+  in
+  ignore (Worker.deliver w conn req)
+
+let cpu_busy_per_worker t = Array.map Worker.cpu_busy t.workers_arr
+
+let utilization_since t prev ~window =
+  if window <= 0 then invalid_arg "Device.utilization_since: window must be positive";
+  Array.mapi
+    (fun i w ->
+      let delta = Sim_time.sub (Worker.cpu_busy w) prev.(i) in
+      Float.min 1.0 (float_of_int delta /. float_of_int window))
+    t.workers_arr
+
+let enable_degradation t ~policy ~check_every =
+  let prev = ref (cpu_busy_per_worker t) in
+  let rec tick () =
+    let util = utilization_since t !prev ~window:check_every in
+    prev := cpu_busy_per_worker t;
+    let conn_counts = Array.map Worker.conn_count t.workers_arr in
+    let shed_plan = Hermes.Degrade.plan ~policy ~utilization:util ~conn_counts in
+    List.iter
+      (fun { Hermes.Degrade.worker = w; shed } ->
+        let victims = Worker.conns t.workers_arr.(w) in
+        List.iteri
+          (fun i conn ->
+            if i < shed then Worker.reset_connection t.workers_arr.(w) conn)
+          victims)
+      shed_plan;
+    ignore (Sim.schedule_after t.sim ~delay:check_every tick)
+  in
+  ignore (Sim.schedule_after t.sim ~delay:check_every tick)
+
+let enable_sampling t ~every =
+  t.sampling_prev <- cpu_busy_per_worker t;
+  let rec tick () =
+    let util = utilization_since t t.sampling_prev ~window:every in
+    t.sampling_prev <- cpu_busy_per_worker t;
+    let conns = Array.map Worker.conn_count t.workers_arr in
+    t.samples_rev <- { at = Sim.now t.sim; util; conns } :: t.samples_rev;
+    ignore (Sim.schedule_after t.sim ~delay:every tick)
+  in
+  ignore (Sim.schedule_after t.sim ~delay:every tick)
+
+let samples t = List.rev t.samples_rev
+
+let latency_hist t = t.lat
+let establishment_hist t = t.estab_lat
+let completed t = t.completed_count
+let dropped t = t.drop_count
+let conns_reset t = t.reset_count
+
+let accepted_per_worker t =
+  Array.map (fun w -> (Worker.stats w).Worker.accepted) t.workers_arr
+
+let conns_per_worker t = Array.map Worker.conn_count t.workers_arr
+
+let reset_measurements t =
+  Stats.Histogram.reset t.lat;
+  Stats.Histogram.reset t.estab_lat;
+  t.completed_count <- 0;
+  t.drop_count <- 0;
+  t.reset_count <- 0;
+  t.samples_rev <- []
+
+let kernel_dispatch_cycles t =
+  Hashtbl.fold
+    (fun _ plumbing acc ->
+      match plumbing with
+      | Shared _ -> acc
+      | Dedicated { group; _ } ->
+        acc + (Kernel.Reuseport.stats group).Kernel.Reuseport.prog_cycles)
+    t.ports 0
+
+type tenant_stats = {
+  tenant : int;  (* index into [tenants] *)
+  new_conns : int;
+  cpu_consumed : Sim_time.t;
+}
+
+let tenant_report t =
+  Array.mapi
+    (fun i _ ->
+      { tenant = i; new_conns = t.tenant_conns.(i); cpu_consumed = t.tenant_cpu.(i) })
+    t.tenant_arr
+
+let reset_tenant_report t =
+  Array.fill t.tenant_conns 0 (Array.length t.tenant_conns) 0;
+  Array.fill t.tenant_cpu 0 (Array.length t.tenant_cpu) 0
+
+let is_quarantined t ~tenant = t.quarantined.(tenant)
+
+let quarantine_tenant t ~tenant =
+  if not t.quarantined.(tenant) then begin
+    t.quarantined.(tenant) <- true;
+    (* migrate the tenant to the sandbox: its established connections
+       are reset here and re-served by the (unmodelled) sandbox pool *)
+    let tenant_id = t.tenant_arr.(tenant).Netsim.Tenant.id in
+    Array.iter
+      (fun w ->
+        List.iter
+          (fun conn ->
+            if conn.Conn.tenant_id = tenant_id then Worker.reset_connection w conn)
+          (Worker.conns w))
+      t.workers_arr;
+    (* drain SYNs already queued on its port *)
+    match Hashtbl.find_opt t.ports t.tenant_arr.(tenant).Netsim.Tenant.dport with
+    | Some (Shared { socket; _ }) -> ignore (Kernel.Socket.close socket)
+    | Some (Dedicated { group; _ }) ->
+      for slot = 0 to Kernel.Reuseport.slots group - 1 do
+        match Kernel.Reuseport.member group ~slot with
+        | Some sock ->
+          let orphans = Kernel.Socket.close sock in
+          List.iter
+            (fun (p : Kernel.Socket.pending_conn) ->
+              match Hashtbl.find_opt t.metas p.seq with
+              | Some m ->
+                Hashtbl.remove t.metas p.seq;
+                t.drop_count <- t.drop_count + 1;
+                m.events.dispatch_failed ()
+              | None -> ())
+            orphans;
+          Kernel.Reuseport.unbind group ~slot
+        | None -> ()
+      done
+    | None -> ()
+  end

@@ -1,0 +1,1 @@
+lib/netsim/addr.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/netsim/l4lb.ml: Addr Array Hashtbl Packet Tenant

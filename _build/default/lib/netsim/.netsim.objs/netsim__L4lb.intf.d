@@ -1,0 +1,1 @@
+lib/netsim/l4lb.mli: Addr Packet Tenant

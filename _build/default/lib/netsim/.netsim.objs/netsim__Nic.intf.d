@@ -1,0 +1,1 @@
+lib/netsim/nic.mli: Packet

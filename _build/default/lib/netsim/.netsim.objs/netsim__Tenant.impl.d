@@ -1,0 +1,1 @@
+lib/netsim/tenant.ml: Addr Array Format Printf

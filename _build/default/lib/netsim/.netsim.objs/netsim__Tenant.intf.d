@@ -1,0 +1,1 @@
+lib/netsim/tenant.mli: Addr Format

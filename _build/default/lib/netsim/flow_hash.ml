@@ -1,0 +1,36 @@
+let mask32 = 0xFFFFFFFF
+
+let rol32 x k = ((x lsl k) lor (x lsr (32 - k))) land mask32
+
+(* jhash final mixing (Bob Jenkins, lookup3). *)
+let final a b c =
+  let c = (c lxor b) land mask32 in
+  let c = (c - rol32 b 14) land mask32 in
+  let a = (a lxor c) land mask32 in
+  let a = (a - rol32 c 11) land mask32 in
+  let b = (b lxor a) land mask32 in
+  let b = (b - rol32 a 25) land mask32 in
+  let c = (c lxor b) land mask32 in
+  let c = (c - rol32 b 16) land mask32 in
+  let a = (a lxor c) land mask32 in
+  let a = (a - rol32 c 4) land mask32 in
+  let b = (b lxor a) land mask32 in
+  let b = (b - rol32 a 14) land mask32 in
+  let c = (c lxor b) land mask32 in
+  let c = (c - rol32 b 24) land mask32 in
+  c
+
+let jhash_initval = 0xdeadbeef
+
+let jhash3 w1 w2 w3 ~seed =
+  let base = (jhash_initval + (3 lsl 2) + seed) land mask32 in
+  let a = (w1 + base) land mask32 in
+  let b = (w2 + base) land mask32 in
+  let c = (w3 + base) land mask32 in
+  final a b c
+
+let default_seed = 0x5aadbeef
+
+let of_four_tuple ?(seed = default_seed) (t : Addr.four_tuple) =
+  let ports = ((t.src_port land 0xFFFF) lsl 16) lor (t.dst_port land 0xFFFF) in
+  jhash3 (t.src_ip land mask32) (t.dst_ip land mask32) ports ~seed

@@ -1,0 +1,37 @@
+type kind = Syn | Data of int | Fin | Rst
+
+type t = {
+  tuple : Addr.four_tuple;
+  kind : kind;
+  vxlan_vni : int option;
+  flow_hash : int;
+}
+
+let make ~tuple ~kind =
+  { tuple; kind; vxlan_vni = None; flow_hash = Flow_hash.of_four_tuple tuple }
+
+let encapsulate t ~vni = { t with vxlan_vni = Some vni }
+let decapsulate t = { t with vxlan_vni = None }
+
+let base_headers = 54 (* eth + ipv4 + tcp *)
+let vxlan_overhead = 50 (* outer eth + ip + udp + vxlan *)
+
+let size_bytes t =
+  let payload = match t.kind with Data n -> n | Syn | Fin | Rst -> 0 in
+  let encap = match t.vxlan_vni with Some _ -> vxlan_overhead | None -> 0 in
+  base_headers + payload + encap
+
+let pp fmt t =
+  let kind =
+    match t.kind with
+    | Syn -> "SYN"
+    | Data n -> Printf.sprintf "DATA(%d)" n
+    | Fin -> "FIN"
+    | Rst -> "RST"
+  in
+  let vni =
+    match t.vxlan_vni with
+    | Some v -> Printf.sprintf " vni=%#x" v
+    | None -> ""
+  in
+  Format.fprintf fmt "%s %a%s" kind Addr.pp_four_tuple t.tuple vni

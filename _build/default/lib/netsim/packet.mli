@@ -1,0 +1,36 @@
+(** Packet and encapsulation model.
+
+    Only the header fields that influence scheduling are modelled: the
+    inner 4-tuple, payload size, TCP flag kind, and the optional VXLAN
+    outer header added by the cloud gateway.  Payload bytes themselves
+    are never materialized — the simulation moves descriptors, like a
+    kernel moves skbs. *)
+
+type kind =
+  | Syn  (** connection request; drives socket selection *)
+  | Data of int  (** payload bytes *)
+  | Fin
+  | Rst
+
+type t = {
+  tuple : Addr.four_tuple;
+  kind : kind;
+  vxlan_vni : int option; (** set while encapsulated, [None] after decap *)
+  flow_hash : int; (** computed once at ingress, like skb->hash *)
+}
+
+val make : tuple:Addr.four_tuple -> kind:kind -> t
+(** Build a bare (decapsulated) packet; the flow hash is computed from
+    the tuple. *)
+
+val encapsulate : t -> vni:int -> t
+(** Add a VXLAN header (cloud gateway ingress). *)
+
+val decapsulate : t -> t
+(** Strip the VXLAN header (L4 LB).  No-op if not encapsulated. *)
+
+val size_bytes : t -> int
+(** Wire size estimate: headers plus payload, plus 50 bytes of VXLAN
+    overhead while encapsulated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+type t = {
+  buckets : int array;
+  bucket_scale : float; (* buckets per factor of e *)
+  linear_limit : float; (* values below this go to linear buckets *)
+  linear_buckets : int;
+  max_recordable : float;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+(* Layout: [linear_buckets] unit-width buckets for [0, linear_limit),
+   then log buckets above.  Index of value v >= linear_limit is
+   linear_buckets + floor(bucket_scale * ln (v / linear_limit)). *)
+
+let create ?(significant_digits = 2) ?(max_value = 1e12) () =
+  if significant_digits < 1 || significant_digits > 4 then
+    invalid_arg "Histogram.create: significant_digits in 1..4";
+  if max_value <= 1.0 then invalid_arg "Histogram.create: max_value too small";
+  let rel_err = 10.0 ** float_of_int (-significant_digits) in
+  (* Choose bucket width so (edge ratio - 1) <= 2*rel_err. *)
+  let bucket_scale = 1.0 /. log (1.0 +. (2.0 *. rel_err)) in
+  let linear_limit = 1.0 /. rel_err in
+  let linear_buckets = int_of_float linear_limit in
+  let log_buckets =
+    int_of_float (ceil (bucket_scale *. log (max_value /. linear_limit))) + 2
+  in
+  {
+    buckets = Array.make (linear_buckets + log_buckets) 0;
+    bucket_scale;
+    linear_limit;
+    linear_buckets;
+    max_recordable = max_value;
+    n = 0;
+    sum = 0.0;
+    sum_sq = 0.0;
+    minimum = infinity;
+    maximum = neg_infinity;
+  }
+
+let index_of t v =
+  if v < t.linear_limit then int_of_float v
+  else
+    let i =
+      t.linear_buckets
+      + int_of_float (t.bucket_scale *. log (v /. t.linear_limit))
+    in
+    min i (Array.length t.buckets - 1)
+
+let value_of t i =
+  (* Representative value of bucket i: exact for unit-width linear
+     buckets, geometric midpoint for log buckets (halves the relative
+     quantile error vs reporting an edge). *)
+  if i < t.linear_buckets then float_of_int (i + 1)
+  else
+    t.linear_limit
+    *. exp ((float_of_int (i - t.linear_buckets) +. 0.5) /. t.bucket_scale)
+
+let record_n t v n =
+  if v < 0.0 then invalid_arg "Histogram.record: negative value";
+  if n < 0 then invalid_arg "Histogram.record_n: negative count";
+  if n > 0 then begin
+    let v' = if v > t.max_recordable then t.max_recordable else v in
+    let i = index_of t v' in
+    t.buckets.(i) <- t.buckets.(i) + n;
+    t.n <- t.n + n;
+    let fn = float_of_int n in
+    t.sum <- t.sum +. (v *. fn);
+    t.sum_sq <- t.sum_sq +. (v *. v *. fn);
+    if v < t.minimum then t.minimum <- v;
+    if v > t.maximum then t.maximum <- v
+  end
+
+let record t v = record_n t v 1
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then 0.0 else t.minimum
+let max_value t = if t.n = 0 then 0.0 else t.maximum
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p in 0..100";
+  if t.n = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r < 1 then 1 else r
+    in
+    let acc = ref 0 in
+    let result = ref t.maximum in
+    (try
+       for i = 0 to Array.length t.buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           result := value_of t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Never report beyond the observed maximum. *)
+    if !result > t.maximum then t.maximum else !result
+  end
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let n = float_of_int t.n in
+    let var = (t.sum_sq /. n) -. ((t.sum /. n) ** 2.0) in
+    if var <= 0.0 then 0.0 else sqrt var
+
+let merge_into ~src ~dst =
+  if Array.length src.buckets <> Array.length dst.buckets then
+    invalid_arg "Histogram.merge_into: layout mismatch";
+  Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  dst.sum_sq <- dst.sum_sq +. src.sum_sq;
+  if src.minimum < dst.minimum then dst.minimum <- src.minimum;
+  if src.maximum > dst.maximum then dst.maximum <- src.maximum
+
+let reset t =
+  Array.fill t.buckets 0 (Array.length t.buckets) 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.sum_sq <- 0.0;
+  t.minimum <- infinity;
+  t.maximum <- neg_infinity
+
+let cdf_points t =
+  if t.n = 0 then []
+  else begin
+    let points = ref [] in
+    let acc = ref 0 in
+    for i = 0 to Array.length t.buckets - 1 do
+      if t.buckets.(i) > 0 then begin
+        acc := !acc + t.buckets.(i);
+        points := (value_of t i, float_of_int !acc /. float_of_int t.n) :: !points
+      end
+    done;
+    List.rev !points
+  end

@@ -1,0 +1,65 @@
+type row = Cells of string list | Separator
+
+type t = { header : string list; width : int; mutable rows : row list }
+
+let create ~header = { header; width = List.length header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" t.width
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad s w =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (w - String.length s) ' ')
+  in
+  let line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        if i < Array.length widths - 1 then Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        pad c widths.(i);
+        Buffer.add_char buf ' ';
+        if i < Array.length widths - 1 then Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  line ();
+  List.iter (function Separator -> line () | Cells cells -> emit cells) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f v =
+  let a = Float.abs v in
+  if a = 0.0 then "0"
+  else if a >= 1e7 then Printf.sprintf "%.3g" v
+  else if a >= 100.0 then Printf.sprintf "%.1f" v
+  else if a >= 10.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v
+
+let cell_pct v = Printf.sprintf "%.2f%%" (100.0 *. v)

@@ -1,0 +1,84 @@
+type t = {
+  series_name : string;
+  mutable times : float array;
+  mutable vals : float array;
+  mutable n : int;
+}
+
+let create ?(name = "") () =
+  { series_name = name; times = Array.make 64 0.0; vals = Array.make 64 0.0; n = 0 }
+
+let name t = t.series_name
+
+let add t ~time ~value =
+  if t.n > 0 && time < t.times.(t.n - 1) then
+    invalid_arg "Timeseries.add: time went backwards";
+  if t.n = Array.length t.times then begin
+    let grow a =
+      let b = Array.make (2 * Array.length a) 0.0 in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.times <- grow t.times;
+    t.vals <- grow t.vals
+  end;
+  t.times.(t.n) <- time;
+  t.vals.(t.n) <- value;
+  t.n <- t.n + 1
+
+let length t = t.n
+let points t = Array.init t.n (fun i -> (t.times.(i), t.vals.(i)))
+let values t = Array.sub t.vals 0 t.n
+let last t = if t.n = 0 then None else Some (t.times.(t.n - 1), t.vals.(t.n - 1))
+
+let window_mean t ~lo ~hi =
+  let acc = ref 0.0 and count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.times.(i) >= lo && t.times.(i) < hi then begin
+      acc := !acc +. t.vals.(i);
+      incr count
+    end
+  done;
+  if !count = 0 then 0.0 else !acc /. float_of_int !count
+
+let downsample t ~every =
+  if every <= 0.0 then invalid_arg "Timeseries.downsample: every must be positive";
+  let out = create ~name:t.series_name () in
+  if t.n > 0 then begin
+    let start = t.times.(0) in
+    let bucket i = int_of_float ((t.times.(i) -. start) /. every) in
+    let cur = ref (bucket 0) and acc = ref 0.0 and count = ref 0 in
+    let flush () =
+      if !count > 0 then
+        add out
+          ~time:(start +. (float_of_int !cur *. every))
+          ~value:(!acc /. float_of_int !count)
+    in
+    for i = 0 to t.n - 1 do
+      let b = bucket i in
+      if b <> !cur then begin
+        flush ();
+        cur := b;
+        acc := 0.0;
+        count := 0
+      end;
+      acc := !acc +. t.vals.(i);
+      incr count
+    done;
+    flush ()
+  end;
+  out
+
+let pp_series ?(max_points = 20) fmt t =
+  if t.n = 0 then Format.fprintf fmt "(empty series)"
+  else begin
+    let step = if t.n <= max_points then 1 else t.n / max_points in
+    let first = ref true in
+    let i = ref 0 in
+    while !i < t.n do
+      if not !first then Format.fprintf fmt "@\n";
+      first := false;
+      Format.fprintf fmt "%12.3f  %12.4f" t.times.(!i) t.vals.(!i);
+      i := !i + step
+    done
+  end

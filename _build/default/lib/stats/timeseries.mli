@@ -1,0 +1,32 @@
+(** Sampled time series.
+
+    The production figures (Fig. 3 traffic-through-a-port, Fig. 13
+    stddev-over-two-days, Fig. 12 monthly unit cost) are all series of
+    periodic samples.  A series stores (time, value) points and offers
+    windowed reductions. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val add : t -> time:float -> value:float -> unit
+(** Times must be non-decreasing; @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+val points : t -> (float * float) array
+(** Snapshot of all points in insertion order. *)
+
+val values : t -> float array
+val last : t -> (float * float) option
+
+val window_mean : t -> lo:float -> hi:float -> float
+(** Mean of values with [lo <= time < hi]; 0 when the window is empty. *)
+
+val downsample : t -> every:float -> t
+(** Collapse points into buckets of width [every] seconds, one averaged
+    point per non-empty bucket — how long runs are summarized before
+    printing. *)
+
+val pp_series : ?max_points:int -> Format.formatter -> t -> unit
+(** Print as "t value" rows, downsampling evenly to at most
+    [max_points] (default 20) rows. *)

@@ -1,0 +1,1 @@
+lib/workload/cases.mli: Profile

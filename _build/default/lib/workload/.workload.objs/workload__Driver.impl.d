@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Engine Float Lb Profile Stats

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Engine Lb Profile

@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Array Engine Lb List Printf

@@ -1,0 +1,1 @@
+lib/workload/regions.ml: Array Cases Engine List Profile

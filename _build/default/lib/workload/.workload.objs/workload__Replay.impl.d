@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Array Buffer Engine Float Fun Hashtbl Lb List Printf Profile String

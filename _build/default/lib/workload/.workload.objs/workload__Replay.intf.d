@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Engine Lb Profile

@@ -1,0 +1,1 @@
+lib/workload/surge.ml: Engine Lb List

@@ -1,0 +1,1 @@
+lib/workload/surge.mli: Engine Lb

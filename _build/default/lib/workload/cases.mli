@@ -1,0 +1,35 @@
+(** The four traffic cases of Table 3.
+
+    The paper characterizes production traffic along two axes —
+    connections-per-second and average LB processing time — and
+    evaluates the three dispatch modes in each quadrant:
+
+    - Case 1: high CPS, low processing time (stress tests, spikes)
+    - Case 2: high CPS, high processing time (spikes of heavy work,
+      e.g. compression)
+    - Case 3: low CPS, low processing time (finance/chat long-lived
+      connections)
+    - Case 4: low CPS, high processing time (web services: SSL
+      handshakes, regex routing)
+
+    Profiles are parameterized by the worker count so the light load
+    lands at a comparable utilization on any device size; "medium" and
+    "heavy" replay the same traffic at 2x and 3x (§6.2). *)
+
+type case = Case1 | Case2 | Case3 | Case4
+
+val all : case list
+val name : case -> string
+val description : case -> string
+val cps_class : case -> [ `High | `Low ]
+val processing_class : case -> [ `High | `Low ]
+
+type load = Light | Medium | Heavy
+
+val loads : load list
+val load_name : load -> string
+val load_factor : load -> float
+(** 1.0 / 2.0 / 3.0 *)
+
+val profile : case -> workers:int -> Profile.t
+(** The light-load profile for a device with [workers] cores. *)

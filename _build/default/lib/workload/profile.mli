@@ -1,0 +1,42 @@
+(** Traffic profiles.
+
+    A profile captures everything the generators need to emit a tenant
+    mix: the connection arrival rate (CPS), how many requests ride each
+    connection and at what spacing, request sizes, LB processing times,
+    the operation mix, and the tenant-popularity skew.  Table 3's four
+    cases and Table 1's four regions are instances. *)
+
+type t = {
+  name : string;
+  cps : float;  (** new connections per second (Poisson arrivals) *)
+  requests_per_conn : Engine.Dist.t;  (** >= 1; rounded to an int *)
+  request_gap : Engine.Dist.t;
+      (** seconds between successive request arrivals on a connection
+          (open loop: clients push on a timer, regardless of LB
+          progress) *)
+  request_size : Engine.Dist.t;  (** bytes *)
+  processing_time : Engine.Dist.t;  (** seconds of LB CPU per request *)
+  op_mix : (float * Lb.Request.op) list;  (** weighted op classes *)
+  tenant_skew : float;
+      (** Zipf exponent over the tenant population; 0 = uniform *)
+}
+
+val scale_rate : t -> float -> t
+(** Multiply the connection arrival rate — the paper's 2x / 3x replay
+    ("medium" and "heavy"). *)
+
+val mean_processing_time : t -> Engine.Rng.t -> float
+(** Empirical mean of the processing-time distribution (calibration &
+    tests). *)
+
+val offered_load : t -> Engine.Rng.t -> float
+(** Estimated CPU-seconds per second demanded of the whole device:
+    cps * E[requests_per_conn] * E[processing_time]. *)
+
+val pick_op : t -> Engine.Rng.t -> Lb.Request.op
+val pick_tenant : t -> tenants:int -> Engine.Rng.t -> int
+(** Zipf-skewed tenant index.  A fresh Zipf table is built per call
+    population size; generators cache via {!tenant_picker}. *)
+
+val tenant_picker : t -> tenants:int -> Engine.Rng.t -> unit -> int
+(** Precomputed-Zipf closure for repeated picks. *)

@@ -1,0 +1,1 @@
+test/test_ebpf_vm.ml: Alcotest Array Engine Hermes Int64 Kernel List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Float Int64 List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Engine Experiments Filename Fun Lb List String Sys Unix

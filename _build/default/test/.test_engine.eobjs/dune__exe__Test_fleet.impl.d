@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest Cluster Engine Experiments Filename Fun Hermes Lb List Netsim String Sys Workload

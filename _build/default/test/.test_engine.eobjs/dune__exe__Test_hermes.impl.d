@@ -1,0 +1,1 @@
+test/test_hermes.ml: Alcotest Array Domain Engine Format Hashtbl Hermes Kernel List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Engine Int64 Kernel List Netsim Printf QCheck QCheck_alcotest String

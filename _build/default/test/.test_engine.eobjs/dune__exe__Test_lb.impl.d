@@ -1,0 +1,1 @@
+test/test_lb.ml: Alcotest Array Engine Hermes Lb List Netsim QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Engine Kernel List Netsim Stats

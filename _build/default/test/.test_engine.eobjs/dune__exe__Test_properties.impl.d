@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Engine Hashtbl Hermes Int64 Kernel List Option QCheck QCheck_alcotest

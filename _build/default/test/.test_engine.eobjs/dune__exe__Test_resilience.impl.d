@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Cluster Engine Format Hermes Lb List Netsim Stats String Workload

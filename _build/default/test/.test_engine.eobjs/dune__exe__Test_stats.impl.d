@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Engine Float Gen List Printf QCheck QCheck_alcotest Stats String

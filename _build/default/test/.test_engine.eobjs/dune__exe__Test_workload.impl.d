@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Engine Experiments Float Lb List Stats Workload

@@ -1,0 +1,234 @@
+(* Tests for the multi-device cluster and trace persistence. *)
+
+let check = Alcotest.check
+let ms = Engine.Sim_time.ms
+let sec = Engine.Sim_time.sec
+
+let make_cluster ?(devices = 3) ?(mode = Lb.Device.Reuseport) () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 77 in
+  let tenants = Netsim.Tenant.population ~n:2 ~base_dport:20000 in
+  let cluster =
+    Cluster.Lb_cluster.create ~sim ~rng ~tenants ~devices ~mode ~workers:2 ()
+  in
+  (cluster, sim)
+
+let open_one cluster ~on_established =
+  Cluster.Lb_cluster.connect cluster ~tenant:0
+    ~events:
+      { Cluster.Lb_cluster.null_events with established = on_established }
+
+(* ------------------------------------------------------------------ *)
+(* Lb_cluster                                                           *)
+
+let test_cluster_spreads () =
+  let cluster, sim = make_cluster () in
+  check Alcotest.int "size" 3 (Cluster.Lb_cluster.size cluster);
+  check Alcotest.int "rotation" 3 (Cluster.Lb_cluster.in_rotation cluster);
+  let members = ref [] in
+  for _ = 1 to 60 do
+    open_one cluster ~on_established:(fun h ->
+        members := h.Cluster.Lb_cluster.member :: !members)
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.int "all established" 60 (List.length !members);
+  (* every member device served some *)
+  List.iter
+    (fun (slot, dev) ->
+      ignore slot;
+      let served =
+        List.length (List.filter (fun d -> d == dev) !members)
+      in
+      check Alcotest.bool "member used" true (served > 5))
+    (Cluster.Lb_cluster.devices cluster)
+
+let test_cluster_send_close_roundtrip () =
+  let cluster, sim = make_cluster () in
+  let completed = ref 0 in
+  Cluster.Lb_cluster.connect cluster ~tenant:0
+    ~events:
+      {
+        Cluster.Lb_cluster.null_events with
+        established =
+          (fun h ->
+            ignore
+              (Cluster.Lb_cluster.send h
+                 (Lb.Request.make ~id:(Cluster.Lb_cluster.fresh_id cluster)
+                    ~op:Lb.Request.Plain_proxy ~size:10 ~cost:(ms 1)
+                    ~tenant_id:0)));
+        request_done =
+          (fun h _ ->
+            incr completed;
+            Cluster.Lb_cluster.close h);
+      };
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.int "request served" 1 !completed;
+  check Alcotest.int "completed aggregated" 1 (Cluster.Lb_cluster.completed cluster)
+
+let test_cluster_drain_excludes () =
+  let cluster, sim = make_cluster () in
+  Cluster.Lb_cluster.drain_device cluster 0;
+  check Alcotest.int "rotation shrank" 2 (Cluster.Lb_cluster.in_rotation cluster);
+  let members = ref [] in
+  for _ = 1 to 40 do
+    open_one cluster ~on_established:(fun h ->
+        members := h.Cluster.Lb_cluster.member :: !members)
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  let drained = Cluster.Lb_cluster.device cluster 0 in
+  check Alcotest.bool "drained device gets nothing" true
+    (not (List.exists (fun d -> d == drained) !members))
+
+let test_cluster_remove_when_drained () =
+  let cluster, sim = make_cluster () in
+  (* put one connection on device 1 directly, drain it, then close *)
+  let handle = ref None in
+  let dev1 = Cluster.Lb_cluster.device cluster 1 in
+  Lb.Device.connect dev1 ~tenant:0
+    ~events:
+      {
+        Lb.Device.null_conn_events with
+        established = (fun conn -> handle := Some conn);
+      };
+  Engine.Sim.run_until sim ~limit:(ms 50);
+  Cluster.Lb_cluster.drain_device cluster 1;
+  let removed = ref false in
+  Cluster.Lb_cluster.remove_when_drained cluster 1
+    ~on_removed:(fun () -> removed := true)
+    ();
+  Engine.Sim.run_until sim ~limit:(ms 500);
+  check Alcotest.bool "still waiting on the live conn" false !removed;
+  (match !handle with
+  | Some conn -> Lb.Device.close_conn dev1 conn
+  | None -> Alcotest.fail "no conn");
+  Engine.Sim.run_until sim ~limit:(sec 1);
+  check Alcotest.bool "removed once empty" true !removed;
+  check Alcotest.int "size shrank" 2 (Cluster.Lb_cluster.size cluster)
+
+let test_cluster_rolling_replace () =
+  let cluster, sim = make_cluster ~mode:Lb.Device.Exclusive () in
+  let original_slots =
+    List.map fst (Cluster.Lb_cluster.devices cluster)
+  in
+  let finished = ref false in
+  Cluster.Lb_cluster.rolling_replace cluster
+    ~new_mode:(Lb.Device.Hermes Hermes.Config.default) ~max_drain:(ms 500)
+    ~on_done:(fun () -> finished := true)
+    ();
+  Engine.Sim.run_until sim ~limit:(sec 5);
+  check Alcotest.bool "rollout done" true !finished;
+  check Alcotest.int "same fleet size" 3 (Cluster.Lb_cluster.size cluster);
+  (* all original slots are gone; replacements are hermes devices *)
+  List.iter
+    (fun (slot, dev) ->
+      check Alcotest.bool "new slot" true (not (List.mem slot original_slots));
+      check Alcotest.bool "hermes mode" true
+        (Lb.Device.hermes_runtime dev <> None))
+    (Cluster.Lb_cluster.devices cluster)
+
+let test_cluster_empty_rotation_fails () =
+  let cluster, _sim = make_cluster ~devices:1 () in
+  Cluster.Lb_cluster.drain_device cluster 0;
+  let failed = ref false in
+  Cluster.Lb_cluster.connect cluster ~tenant:0
+    ~events:
+      {
+        Cluster.Lb_cluster.null_events with
+        dispatch_failed = (fun () -> failed := true);
+      };
+  check Alcotest.bool "nothing in rotation" true !failed
+
+(* ------------------------------------------------------------------ *)
+(* Trace persistence                                                    *)
+
+let small_trace () =
+  let profile =
+    Workload.Profile.scale_rate
+      (Workload.Cases.profile Workload.Cases.Case1 ~workers:2)
+      0.05
+  in
+  Workload.Replay.record ~profile ~tenants:2 ~duration:(sec 1)
+    ~rng:(Engine.Rng.create 5)
+
+let test_trace_roundtrip () =
+  let trace = small_trace () in
+  let text = Workload.Replay.to_string trace in
+  match Workload.Replay.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok trace' ->
+    check Alcotest.int "length" (Workload.Replay.length trace)
+      (Workload.Replay.length trace');
+    check Alcotest.int "conns" (Workload.Replay.connections trace)
+      (Workload.Replay.connections trace');
+    check Alcotest.bool "ops identical" true
+      (Workload.Replay.ops trace = Workload.Replay.ops trace')
+
+let test_trace_file_roundtrip () =
+  let trace = small_trace () in
+  let path = Filename.temp_file "hermes_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Replay.save trace ~path;
+      match Workload.Replay.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok trace' ->
+        check Alcotest.int "length" (Workload.Replay.length trace)
+          (Workload.Replay.length trace'))
+
+let test_trace_parse_errors () =
+  (match Workload.Replay.of_string "garbage" with
+  | Error "not a hermes-trace v1 file" -> ()
+  | _ -> Alcotest.fail "bad header accepted");
+  (match Workload.Replay.of_string "# hermes-trace v1\nconns 1\nC x y z\n" with
+  | Error e ->
+    check Alcotest.bool "names the line" true
+      (String.length e > 0
+      && String.length e >= 16
+      && String.sub e 0 16 = "bad connect line")
+  | Ok _ -> Alcotest.fail "bad line accepted");
+  match Workload.Replay.of_string "# hermes-trace v1\nC 1 2 3\n" with
+  | Error "missing conns line" -> ()
+  | _ -> Alcotest.fail "missing conns accepted"
+
+let test_trace_replays_after_roundtrip () =
+  let trace = small_trace () in
+  let trace' =
+    match Workload.Replay.of_string (Workload.Replay.to_string trace) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let run trace =
+    let device, _ =
+      Experiments.Common.make_device ~workers:2 ~tenants:2
+        ~mode:Lb.Device.Reuseport ()
+    in
+    let sim = Lb.Device.sim device in
+    Lb.Device.start device;
+    Workload.Replay.replay trace ~device ~rate:1.0;
+    Engine.Sim.run_until sim ~limit:(sec 2);
+    Lb.Device.completed device
+  in
+  check Alcotest.int "identical outcome" (run trace) (run trace')
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "lb_cluster",
+        [
+          Alcotest.test_case "spreads" `Quick test_cluster_spreads;
+          Alcotest.test_case "send/close roundtrip" `Quick test_cluster_send_close_roundtrip;
+          Alcotest.test_case "drain excludes" `Quick test_cluster_drain_excludes;
+          Alcotest.test_case "remove when drained" `Quick test_cluster_remove_when_drained;
+          Alcotest.test_case "rolling replace" `Quick test_cluster_rolling_replace;
+          Alcotest.test_case "empty rotation" `Quick test_cluster_empty_rotation_fails;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_trace_parse_errors;
+          Alcotest.test_case "replays after roundtrip" `Quick
+            test_trace_replays_after_roundtrip;
+        ] );
+    ]

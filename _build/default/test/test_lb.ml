@@ -1,0 +1,658 @@
+(* Tests for the lb library: HTTP codec, router, request/conn model,
+   backend pools, and full worker/device integration under each
+   dispatch mode, including failure injection. *)
+
+let check = Alcotest.check
+let ms = Engine.Sim_time.ms
+let us = Engine.Sim_time.us
+
+(* ------------------------------------------------------------------ *)
+(* Http                                                                 *)
+
+let test_http_parse_simple () =
+  let raw = "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n" in
+  match Lb.Http.parse_request raw with
+  | Ok (req, consumed) ->
+    check Alcotest.string "method" "GET" (Lb.Http.meth_to_string req.Lb.Http.meth);
+    check Alcotest.string "target" "/index.html" req.Lb.Http.target;
+    check Alcotest.string "version" "HTTP/1.1" req.Lb.Http.version;
+    check Alcotest.(option string) "host" (Some "example.com") (Lb.Http.host req);
+    check Alcotest.int "consumed all" (String.length raw) consumed
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_parse_body () =
+  let raw = "POST /api HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello" in
+  match Lb.Http.parse_request raw with
+  | Ok (req, consumed) ->
+    check Alcotest.string "body" "hello" req.Lb.Http.body;
+    check Alcotest.int "content length" 5 (Lb.Http.content_length req);
+    check Alcotest.int "consumed" (String.length raw) consumed
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_truncated () =
+  List.iter
+    (fun raw ->
+      match Lb.Http.parse_request raw with
+      | Error Lb.Http.Truncated -> ()
+      | _ -> Alcotest.fail ("should be truncated: " ^ String.escaped raw))
+    [
+      "GET / HTTP/1.1";
+      "GET / HTTP/1.1\r\nHost: a";
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+    ]
+
+let test_http_bad_inputs () =
+  (match Lb.Http.parse_request "FROB / HTTP/1.1\r\n\r\n" with
+  | Error (Lb.Http.Unsupported_method "FROB") -> ()
+  | _ -> Alcotest.fail "should reject method");
+  (match Lb.Http.parse_request "GARBAGE\r\n\r\n" with
+  | Error (Lb.Http.Bad_request_line _) -> ()
+  | _ -> Alcotest.fail "should reject request line");
+  match Lb.Http.parse_request "GET / HTTP/1.1\r\nBad header line\r\n\r\n" with
+  | Error (Lb.Http.Bad_header _) -> ()
+  | _ -> Alcotest.fail "should reject header"
+
+let test_http_header_case_insensitive () =
+  let raw = "GET / HTTP/1.1\r\nX-Thing: 42\r\n\r\n" in
+  match Lb.Http.parse_request raw with
+  | Ok (req, _) ->
+    check Alcotest.(option string) "lookup mixed case" (Some "42")
+      (Lb.Http.header req "x-ThInG")
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_path_query () =
+  let raw = "GET /a/b?q=1&r=2 HTTP/1.1\r\n\r\n" in
+  match Lb.Http.parse_request raw with
+  | Ok (req, _) -> check Alcotest.string "path" "/a/b" (Lb.Http.path req)
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_websocket_upgrade () =
+  let raw =
+    "GET /chat HTTP/1.1\r\nConnection: keep-alive, Upgrade\r\nUpgrade: websocket\r\n\r\n"
+  in
+  (match Lb.Http.parse_request raw with
+  | Ok (req, _) ->
+    check Alcotest.bool "upgrade" true (Lb.Http.is_websocket_upgrade req)
+  | Error _ -> Alcotest.fail "parse failed");
+  match Lb.Http.parse_request "GET / HTTP/1.1\r\nConnection: close\r\n\r\n" with
+  | Ok (req, _) ->
+    check Alcotest.bool "no upgrade" false (Lb.Http.is_websocket_upgrade req)
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_response_serialize () =
+  let r = Lb.Http.response ~body:"ok" 200 in
+  let s = Lb.Http.serialize_response r in
+  check Alcotest.bool "status line" true
+    (String.length s > 17 && String.sub s 0 17 = "HTTP/1.1 200 OK\r\n");
+  check Alcotest.bool "has body" true
+    (String.length s >= 2 && String.sub s (String.length s - 2) 2 = "ok")
+
+let test_http_request_roundtrip () =
+  let raw = "PUT /x HTTP/1.1\r\nhost: h\r\ncontent-length: 3\r\n\r\nabc" in
+  match Lb.Http.parse_request raw with
+  | Ok (req, _) ->
+    check Alcotest.string "roundtrip" raw (Lb.Http.serialize_request req)
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_http_status_reasons () =
+  check Alcotest.string "499" "Client Closed Request" (Lb.Http.status_reason 499);
+  check Alcotest.string "502" "Bad Gateway" (Lb.Http.status_reason 502);
+  check Alcotest.string "unknown" "Unknown" (Lb.Http.status_reason 299)
+
+(* Property: any serialized request parses back to itself. *)
+let gen_request =
+  QCheck.Gen.(
+    let meth = oneofl [ Lb.Http.GET; POST; PUT; DELETE ] in
+    let path =
+      map (fun parts -> "/" ^ String.concat "/" parts)
+        (list_size (int_range 0 3) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
+    in
+    let body = string_size ~gen:(char_range 'a' 'z') (int_range 0 32) in
+    map3
+      (fun meth path body ->
+        {
+          Lb.Http.meth;
+          target = path;
+          version = "HTTP/1.1";
+          headers = [ ("content-length", string_of_int (String.length body)) ];
+          body;
+        })
+      meth path body)
+
+let prop_http_roundtrip =
+  QCheck.Test.make ~name:"http serialize/parse roundtrip" ~count:200
+    (QCheck.make gen_request) (fun req ->
+      match Lb.Http.parse_request (Lb.Http.serialize_request req) with
+      | Ok (req', _) ->
+        req'.Lb.Http.meth = req.Lb.Http.meth
+        && String.equal req'.Lb.Http.target req.Lb.Http.target
+        && String.equal req'.Lb.Http.body req.Lb.Http.body
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                               *)
+
+let rule ?host path backend_group = { Lb.Router.matcher = { host; path }; backend_group }
+
+let test_router_specificity () =
+  let r =
+    Lb.Router.create
+      [
+        rule `Any "catchall";
+        rule (`Prefix "/api/") "api";
+        rule (`Exact "/api/v1/users") "users";
+        rule (`Prefix "/api/v1/") "v1";
+      ]
+  in
+  check Alcotest.(option string) "exact wins" (Some "users")
+    (Lb.Router.route r ~host:None ~path:"/api/v1/users");
+  check Alcotest.(option string) "longest prefix" (Some "v1")
+    (Lb.Router.route r ~host:None ~path:"/api/v1/items");
+  check Alcotest.(option string) "short prefix" (Some "api")
+    (Lb.Router.route r ~host:None ~path:"/api/other");
+  check Alcotest.(option string) "catchall" (Some "catchall")
+    (Lb.Router.route r ~host:None ~path:"/elsewhere")
+
+let test_router_host () =
+  let r =
+    Lb.Router.create
+      [ rule ~host:"a.example" (`Prefix "/") "tenant-a"; rule (`Prefix "/") "any" ]
+  in
+  check Alcotest.(option string) "host match" (Some "tenant-a")
+    (Lb.Router.route r ~host:(Some "a.example") ~path:"/x");
+  check Alcotest.(option string) "other host" (Some "any")
+    (Lb.Router.route r ~host:(Some "b.example") ~path:"/x");
+  check Alcotest.(option string) "no host" (Some "any")
+    (Lb.Router.route r ~host:None ~path:"/x")
+
+let test_router_no_match () =
+  let r = Lb.Router.create [ rule (`Exact "/only") "x" ] in
+  check Alcotest.(option string) "miss" None (Lb.Router.route r ~host:None ~path:"/other")
+
+let test_router_request_and_cost () =
+  let r = Lb.Router.create [ rule (`Prefix "/") "all" ] in
+  (match Lb.Http.parse_request "GET /p HTTP/1.1\r\nHost: h\r\n\r\n" with
+  | Ok (req, _) ->
+    check Alcotest.(option string) "routes request" (Some "all")
+      (Lb.Router.route_request r req)
+  | Error _ -> Alcotest.fail "parse failed");
+  let small = Lb.Router.matching_cost r in
+  let big =
+    Lb.Router.matching_cost
+      (Lb.Router.create (List.init 100 (fun i -> rule (`Exact (string_of_int i)) "g")))
+  in
+  check Alcotest.bool "cost grows with rules" true (big > small)
+
+(* ------------------------------------------------------------------ *)
+(* Request / Conn                                                       *)
+
+let test_request_validation () =
+  Alcotest.check_raises "negative size" (Invalid_argument "Request.make: negative size")
+    (fun () ->
+      ignore
+        (Lb.Request.make ~id:1 ~op:Lb.Request.Plain_proxy ~size:(-1) ~cost:1 ~tenant_id:0));
+  let close = Lb.Request.close_marker ~id:2 ~tenant_id:0 in
+  check Alcotest.bool "is close" true (Lb.Request.is_close close);
+  let req = Lb.Request.make ~id:3 ~op:Lb.Request.Compress ~size:10 ~cost:5 ~tenant_id:0 in
+  check Alcotest.bool "not close" false (Lb.Request.is_close req)
+
+let test_request_default_costs () =
+  (* handshake-class ops cost more than plain proxying *)
+  let plain = Lb.Request.default_cost Lb.Request.Plain_proxy ~size:1000 in
+  let ssl = Lb.Request.default_cost Lb.Request.Ssl_handshake ~size:1000 in
+  let compress = Lb.Request.default_cost Lb.Request.Compress ~size:1000 in
+  check Alcotest.bool "ssl > plain" true (ssl > plain);
+  check Alcotest.bool "compress > plain" true (compress > plain);
+  (* size-proportional *)
+  check Alcotest.bool "bigger costs more" true
+    (Lb.Request.default_cost Lb.Request.Compress ~size:100_000
+    > Lb.Request.default_cost Lb.Request.Compress ~size:100)
+
+let dummy_tuple = { Netsim.Addr.src_ip = 1; src_port = 2; dst_ip = 3; dst_port = 4 }
+
+let test_conn_lifecycle () =
+  let conn =
+    Lb.Conn.make ~id:1 ~fd:10 ~tuple:dummy_tuple ~tenant_id:0 ~worker_id:0
+      ~established:0
+  in
+  check Alcotest.bool "open" true (Lb.Conn.is_open conn);
+  let req = Lb.Request.make ~id:1 ~op:Lb.Request.Plain_proxy ~size:1 ~cost:1 ~tenant_id:0 in
+  check Alcotest.bool "delivered" true (Lb.Conn.deliver conn req ~now:(ms 7));
+  check Alcotest.int "arrival stamped" (ms 7) req.Lb.Request.arrival;
+  check Alcotest.int "inflight" 1 conn.Lb.Conn.inflight;
+  (match Lb.Conn.take conn 5 with
+  | [ r ] -> check Alcotest.int "same request" 1 r.Lb.Request.id
+  | _ -> Alcotest.fail "expected one request");
+  check Alcotest.int "inflight drained" 0 conn.Lb.Conn.inflight;
+  conn.Lb.Conn.state <- Lb.Conn.Closed;
+  check Alcotest.bool "closed rejects" false (Lb.Conn.deliver conn req ~now:(ms 8))
+
+(* ------------------------------------------------------------------ *)
+(* Backend                                                              *)
+
+let test_backend_round_robin () =
+  let b = Lb.Backend.create ~servers:3 ~workers:1 ~mode:Lb.Backend.Shared () in
+  for _ = 1 to 6 do
+    ignore (Lb.Backend.forward_and_release b ~worker:0)
+  done;
+  check Alcotest.(array int) "even rotation" [| 2; 2; 2 |]
+    (Lb.Backend.requests_per_server b)
+
+let test_backend_synced_restart () =
+  let b = Lb.Backend.create ~servers:4 ~workers:4 ~mode:Lb.Backend.Shared () in
+  Lb.Backend.update_server_list b ~randomize:None ();
+  (* every worker sends exactly one request: all hit server 0 *)
+  for w = 0 to 3 do
+    ignore (Lb.Backend.forward_and_release b ~worker:w)
+  done;
+  check Alcotest.(array int) "head hammered" [| 4; 0; 0; 0 |]
+    (Lb.Backend.requests_per_server b)
+
+let test_backend_randomized_restart () =
+  let rng = Engine.Rng.create 5 in
+  let b = Lb.Backend.create ~servers:4 ~workers:8 ~mode:Lb.Backend.Shared () in
+  Lb.Backend.update_server_list b ~randomize:(Some rng) ();
+  for w = 0 to 7 do
+    ignore (Lb.Backend.forward_and_release b ~worker:w)
+  done;
+  let counts = Lb.Backend.requests_per_server b in
+  check Alcotest.bool "spread beyond head" true (counts.(0) < 8)
+
+let test_backend_pool_modes () =
+  (* shared pool: 1 handshake per server; per-worker: per worker *)
+  let shared = Lb.Backend.create ~servers:2 ~workers:4 ~mode:Lb.Backend.Shared () in
+  for i = 0 to 7 do
+    ignore (Lb.Backend.forward_and_release shared ~worker:(i mod 4))
+  done;
+  check Alcotest.int "shared: 2 handshakes" 2 (Lb.Backend.handshakes shared);
+  let per = Lb.Backend.create ~servers:2 ~workers:4 ~mode:Lb.Backend.Per_worker () in
+  for i = 0 to 7 do
+    ignore (Lb.Backend.forward_and_release per ~worker:(i mod 4))
+  done;
+  check Alcotest.int "per-worker: 8 handshakes" 8 (Lb.Backend.handshakes per);
+  check Alcotest.bool "reuse ratio ordering" true
+    (Lb.Backend.reuse_ratio shared > Lb.Backend.reuse_ratio per)
+
+let test_backend_resize () =
+  let b = Lb.Backend.create ~servers:2 ~workers:1 ~mode:Lb.Backend.Shared () in
+  Lb.Backend.update_server_list b ~servers:5 ~randomize:None ();
+  check Alcotest.int "resized" 5 (Lb.Backend.server_count b);
+  for _ = 1 to 5 do
+    ignore (Lb.Backend.forward_and_release b ~worker:0)
+  done;
+  check Alcotest.(array int) "all servers hit" [| 1; 1; 1; 1; 1 |]
+    (Lb.Backend.requests_per_server b)
+
+(* ------------------------------------------------------------------ *)
+(* Device integration                                                   *)
+
+let make_device mode =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 99 in
+  let tenants = Netsim.Tenant.population ~n:4 ~base_dport:20000 in
+  let device = Lb.Device.create ~sim ~rng ~mode ~workers:4 ~tenants () in
+  Lb.Device.start device;
+  (device, sim)
+
+let simple_events ?(on_established = fun _ -> ()) ?(on_done = fun _ _ -> ())
+    ?(on_closed = fun _ -> ()) ?(on_reset = fun _ -> ()) () =
+  {
+    Lb.Device.established = on_established;
+    request_done = on_done;
+    closed = on_closed;
+    reset = on_reset;
+    dispatch_failed = (fun () -> ());
+  }
+
+let run_request_through mode =
+  let device, sim = make_device mode in
+  let done_latency = ref None in
+  let events =
+    simple_events
+      ~on_established:(fun conn ->
+        let req =
+          Lb.Request.make ~id:1 ~op:Lb.Request.Plain_proxy ~size:100
+            ~cost:(us 200) ~tenant_id:conn.Lb.Conn.tenant_id
+        in
+        ignore (Lb.Device.send device conn req))
+      ~on_done:(fun conn _ ->
+        done_latency := Some (Engine.Sim.now sim);
+        Lb.Device.close_conn device conn)
+      ()
+  in
+  Lb.Device.connect device ~tenant:0 ~events;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  !done_latency
+
+let test_device_end_to_end_all_modes () =
+  List.iter
+    (fun mode ->
+      match run_request_through mode with
+      | Some t ->
+        check Alcotest.bool
+          (Lb.Device.mode_name mode ^ " completes fast")
+          true
+          (t > 0 && t < ms 10)
+      | None -> Alcotest.fail (Lb.Device.mode_name mode ^ ": request did not complete"))
+    [
+      Lb.Device.Exclusive;
+      Lb.Device.Epoll_rr;
+      Lb.Device.Wake_all;
+      Lb.Device.Io_uring_fifo;
+      Lb.Device.Reuseport;
+      Lb.Device.Hermes Hermes.Config.default;
+    ]
+
+let open_n_conns device sim n ~hold =
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.Sim.schedule_after sim ~delay:(ms (2 * i)) (fun () ->
+           let events =
+             if hold then simple_events ()
+             else
+               simple_events
+                 ~on_established:(fun conn -> Lb.Device.close_conn device conn)
+                 ()
+           in
+           Lb.Device.connect device ~tenant:(i mod 4) ~events))
+  done
+
+let test_device_lifo_concentration () =
+  let device, sim = make_device Lb.Device.Exclusive in
+  open_n_conns device sim 100 ~hold:true;
+  Engine.Sim.run_until sim ~limit:(ms 300);
+  let acc = Lb.Device.accepted_per_worker device in
+  (* the head worker (highest id, most recently registered) takes
+     almost everything at this light load *)
+  check Alcotest.bool "worker 3 dominates" true (acc.(3) >= 95)
+
+let test_device_fifo_concentration () =
+  let device, sim = make_device Lb.Device.Io_uring_fifo in
+  open_n_conns device sim 100 ~hold:true;
+  Engine.Sim.run_until sim ~limit:(ms 300);
+  let acc = Lb.Device.accepted_per_worker device in
+  (* FIFO concentrates on the oldest waiter: worker 0 *)
+  check Alcotest.bool "worker 0 dominates" true (acc.(0) >= 95)
+
+let test_device_rr_balances () =
+  let device, sim = make_device Lb.Device.Epoll_rr in
+  open_n_conns device sim 100 ~hold:true;
+  Engine.Sim.run_until sim ~limit:(ms 300);
+  let acc = Array.map float_of_int (Lb.Device.accepted_per_worker device) in
+  check Alcotest.bool "balanced" true (Stats.Summary.stddev acc < 5.0)
+
+let test_device_hermes_balances () =
+  let device, sim = make_device (Lb.Device.Hermes Hermes.Config.default) in
+  open_n_conns device sim 100 ~hold:true;
+  Engine.Sim.run_until sim ~limit:(ms 300);
+  let acc = Array.map float_of_int (Lb.Device.accepted_per_worker device) in
+  check Alcotest.bool "no worker dominates" true
+    (snd (Stats.Summary.min_max acc) < 60.0)
+
+let test_device_wake_all_spurious () =
+  let device, sim = make_device Lb.Device.Wake_all in
+  open_n_conns device sim 50 ~hold:true;
+  Engine.Sim.run_until sim ~limit:(ms 300);
+  let spurious =
+    Array.fold_left
+      (fun acc w -> acc + (Lb.Worker.stats w).Lb.Worker.spurious_wakeups)
+      0 (Lb.Device.workers device)
+  in
+  check Alcotest.bool "thundering herd wastes wakeups" true (spurious > 50)
+
+let test_device_close_semantics () =
+  let device, sim = make_device Lb.Device.Reuseport in
+  let closed = ref 0 and completed = ref 0 in
+  let events =
+    simple_events
+      ~on_established:(fun conn ->
+        let req =
+          Lb.Request.make ~id:1 ~op:Lb.Request.Plain_proxy ~size:1 ~cost:(us 50)
+            ~tenant_id:0
+        in
+        ignore (Lb.Device.send device conn req);
+        Lb.Device.close_conn device conn)
+      ~on_done:(fun _ _ -> incr completed)
+      ~on_closed:(fun _ -> incr closed)
+      ()
+  in
+  Lb.Device.connect device ~tenant:0 ~events;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.int "request before close" 1 !completed;
+  check Alcotest.int "then closed" 1 !closed
+
+let test_device_pool_capacity_reject () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create 1 in
+  let tenants = Netsim.Tenant.population ~n:1 ~base_dport:20000 in
+  let device =
+    Lb.Device.create ~sim ~rng ~mode:Lb.Device.Reuseport ~workers:1 ~tenants
+      ~worker_config:{ Lb.Worker.default_config with conn_capacity = 5 }
+      ()
+  in
+  Lb.Device.start device;
+  let resets = ref 0 and ok = ref 0 in
+  for _ = 1 to 10 do
+    Lb.Device.connect device ~tenant:0
+      ~events:
+        (simple_events
+           ~on_established:(fun _ -> incr ok)
+           ~on_reset:(fun _ -> incr resets)
+           ())
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.int "capacity honoured" 5 !ok;
+  check Alcotest.int "rest rejected" 5 !resets
+
+let test_device_crash_and_recover () =
+  let device, sim = make_device (Lb.Device.Hermes Hermes.Config.default) in
+  let resets = ref 0 in
+  let conns = ref [] in
+  for _ = 1 to 20 do
+    Lb.Device.connect device ~tenant:0
+      ~events:
+        (simple_events
+           ~on_established:(fun c -> conns := c :: !conns)
+           ~on_reset:(fun _ -> incr resets)
+           ())
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 50);
+  check Alcotest.int "all established" 20 (List.length !conns);
+  (* crash the worker owning the first conn *)
+  let victim = (List.hd !conns).Lb.Conn.worker_id in
+  let victim_conns =
+    List.length (List.filter (fun c -> c.Lb.Conn.worker_id = victim) !conns)
+  in
+  Lb.Device.crash_worker device victim;
+  check Alcotest.bool "crashed" true (Lb.Worker.is_crashed (Lb.Device.worker device victim));
+  Lb.Device.isolate_worker device victim;
+  Lb.Device.recover_worker device victim;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.int "its conns reset" victim_conns !resets;
+  check Alcotest.bool "running again" false
+    (Lb.Worker.is_crashed (Lb.Device.worker device victim));
+  (* and it serves traffic again after recovery *)
+  let served = ref false in
+  Lb.Device.connect device ~tenant:0
+    ~events:(simple_events ~on_established:(fun _ -> served := true) ());
+  Engine.Sim.run_until sim ~limit:(ms 200);
+  check Alcotest.bool "post-recovery service" true !served
+
+let test_device_isolation_stops_hashing_to_dead () =
+  (* reuseport: before isolation, ~1/4 of new conns stall on the dead
+     worker; after isolation, everything goes to the living. *)
+  let device, sim = make_device Lb.Device.Reuseport in
+  Lb.Device.crash_worker device 0;
+  let established = ref 0 in
+  for _ = 1 to 40 do
+    Lb.Device.connect device ~tenant:0
+      ~events:(simple_events ~on_established:(fun _ -> incr established) ())
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  let before = !established in
+  check Alcotest.bool "some stalled on dead worker" true (before < 40);
+  Lb.Device.isolate_worker device 0;
+  for _ = 1 to 40 do
+    Lb.Device.connect device ~tenant:0
+      ~events:(simple_events ~on_established:(fun _ -> incr established) ())
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 200);
+  check Alcotest.int "all after isolation" (before + 40) !established
+
+let test_device_hang_injection_and_probe () =
+  let device, sim = make_device (Lb.Device.Hermes Hermes.Config.default) in
+  let prober =
+    Lb.Probe.Per_worker.start
+      ~config:
+        { Lb.Probe.interval = ms 50; timeout = ms 400; delayed_threshold = ms 200 }
+      ~target:device
+  in
+  Lb.Device.inject_hang device ~worker:1 ~duration:(Engine.Sim_time.sec 2);
+  (* probes are serialized per worker, so each blocked probe costs its
+     full 400 ms timeout before the next is sent *)
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 3);
+  Lb.Probe.Per_worker.stop prober;
+  let per = Lb.Probe.Per_worker.delayed_by_worker prober in
+  check Alcotest.bool "hung worker delayed" true (per.(1) >= 2);
+  check Alcotest.int "healthy worker clean" 0 per.(0)
+
+let test_device_hermes_avoids_hung_worker () =
+  let device, sim = make_device (Lb.Device.Hermes Hermes.Config.default) in
+  (* warm the loop so every worker has a fresh avail timestamp *)
+  Engine.Sim.run_until sim ~limit:(ms 50);
+  Lb.Device.inject_hang device ~worker:2 ~duration:(Engine.Sim_time.sec 10);
+  (* give other workers' schedulers time to notice the stale stamp *)
+  Engine.Sim.run_until sim ~limit:(ms 500);
+  let accepted_before = (Lb.Device.accepted_per_worker device).(2) in
+  for _ = 1 to 60 do
+    Lb.Device.connect device ~tenant:0 ~events:(simple_events ())
+  done;
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1);
+  let accepted_after = (Lb.Device.accepted_per_worker device).(2) in
+  check Alcotest.int "no new conns on hung worker" accepted_before accepted_after
+
+let test_device_degradation_sheds () =
+  let device, sim = make_device (Lb.Device.Hermes Hermes.Config.default) in
+  Lb.Device.enable_degradation device
+    ~policy:{ Hermes.Degrade.util_threshold = 0.9; shed_fraction = 0.5; min_shed = 1 }
+    ~check_every:(ms 100);
+  (* hold connections on worker 0 and keep it overloaded *)
+  let w0 = Lb.Device.worker device 0 in
+  let conns = List.init 10 (fun _ -> Lb.Worker.adopt_conn w0 ~tenant_id:0) in
+  List.iter
+    (fun conn ->
+      ignore
+        (Lb.Worker.deliver w0 conn
+           (Lb.Request.make ~id:(Lb.Device.fresh_id device)
+              ~op:Lb.Request.Compress ~size:0 ~cost:(ms 300) ~tenant_id:0)))
+    conns;
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1);
+  check Alcotest.bool "some connections shed" true (Lb.Device.conns_reset device > 0)
+
+let test_device_sampling () =
+  let device, sim = make_device Lb.Device.Reuseport in
+  Lb.Device.enable_sampling device ~every:(ms 10);
+  open_n_conns device sim 10 ~hold:false;
+  Engine.Sim.run_until sim ~limit:(ms 105);
+  let samples = Lb.Device.samples device in
+  check Alcotest.int "ten samples" 10 (List.length samples);
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun u -> check Alcotest.bool "util in [0,1]" true (u >= 0.0 && u <= 1.0))
+        s.Lb.Device.util)
+    samples
+
+let test_device_probe_once_timeout () =
+  let device, sim = make_device Lb.Device.Reuseport in
+  (* crash everything: the probe must report None at its timeout *)
+  for w = 0 to 3 do
+    Lb.Device.crash_worker device w
+  done;
+  let result = ref (Some 0) in
+  Lb.Device.probe_once device ~tenant:0 ~timeout:(ms 300) ~on_result:(fun r ->
+      result := r);
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1);
+  check Alcotest.bool "timed out" true (!result = None)
+
+let test_worker_cpu_accounting () =
+  let device, sim = make_device Lb.Device.Reuseport in
+  let done_ref = ref false in
+  Lb.Device.connect device ~tenant:0
+    ~events:
+      (simple_events
+         ~on_established:(fun conn ->
+           ignore
+             (Lb.Device.send device conn
+                (Lb.Request.make ~id:1 ~op:Lb.Request.Plain_proxy ~size:1
+                   ~cost:(ms 10) ~tenant_id:0)))
+         ~on_done:(fun _ _ -> done_ref := true)
+         ());
+  Engine.Sim.run_until sim ~limit:(ms 100);
+  check Alcotest.bool "completed" true !done_ref;
+  let busy = Array.fold_left ( + ) 0 (Array.map Lb.Worker.cpu_busy (Lb.Device.workers device)) in
+  (* at least the 10ms request, plus overheads, across all workers *)
+  check Alcotest.bool "cpu counted" true (busy >= ms 10 && busy < ms 20)
+
+let () =
+  Alcotest.run "lb"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parse simple" `Quick test_http_parse_simple;
+          Alcotest.test_case "parse body" `Quick test_http_parse_body;
+          Alcotest.test_case "truncated" `Quick test_http_truncated;
+          Alcotest.test_case "bad inputs" `Quick test_http_bad_inputs;
+          Alcotest.test_case "header case" `Quick test_http_header_case_insensitive;
+          Alcotest.test_case "path query" `Quick test_http_path_query;
+          Alcotest.test_case "websocket upgrade" `Quick test_http_websocket_upgrade;
+          Alcotest.test_case "response serialize" `Quick test_http_response_serialize;
+          Alcotest.test_case "request roundtrip" `Quick test_http_request_roundtrip;
+          Alcotest.test_case "status reasons" `Quick test_http_status_reasons;
+          QCheck_alcotest.to_alcotest prop_http_roundtrip;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "specificity" `Quick test_router_specificity;
+          Alcotest.test_case "host" `Quick test_router_host;
+          Alcotest.test_case "no match" `Quick test_router_no_match;
+          Alcotest.test_case "request and cost" `Quick test_router_request_and_cost;
+        ] );
+      ( "request_conn",
+        [
+          Alcotest.test_case "request validation" `Quick test_request_validation;
+          Alcotest.test_case "default costs" `Quick test_request_default_costs;
+          Alcotest.test_case "conn lifecycle" `Quick test_conn_lifecycle;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "round robin" `Quick test_backend_round_robin;
+          Alcotest.test_case "synced restart" `Quick test_backend_synced_restart;
+          Alcotest.test_case "randomized restart" `Quick test_backend_randomized_restart;
+          Alcotest.test_case "pool modes" `Quick test_backend_pool_modes;
+          Alcotest.test_case "resize" `Quick test_backend_resize;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "end to end, all modes" `Quick test_device_end_to_end_all_modes;
+          Alcotest.test_case "lifo concentration" `Quick test_device_lifo_concentration;
+          Alcotest.test_case "io_uring fifo concentration" `Quick
+            test_device_fifo_concentration;
+          Alcotest.test_case "rr balances" `Quick test_device_rr_balances;
+          Alcotest.test_case "hermes balances" `Quick test_device_hermes_balances;
+          Alcotest.test_case "wake-all spurious" `Quick test_device_wake_all_spurious;
+          Alcotest.test_case "close semantics" `Quick test_device_close_semantics;
+          Alcotest.test_case "pool capacity" `Quick test_device_pool_capacity_reject;
+          Alcotest.test_case "crash and recover" `Quick test_device_crash_and_recover;
+          Alcotest.test_case "isolation stops dead hashing" `Quick
+            test_device_isolation_stops_hashing_to_dead;
+          Alcotest.test_case "hang + per-worker probe" `Quick
+            test_device_hang_injection_and_probe;
+          Alcotest.test_case "hermes avoids hung worker" `Quick
+            test_device_hermes_avoids_hung_worker;
+          Alcotest.test_case "degradation sheds" `Quick test_device_degradation_sheds;
+          Alcotest.test_case "sampling" `Quick test_device_sampling;
+          Alcotest.test_case "probe timeout" `Quick test_device_probe_once_timeout;
+          Alcotest.test_case "cpu accounting" `Quick test_worker_cpu_accounting;
+        ] );
+    ]
