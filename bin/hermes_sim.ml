@@ -7,6 +7,31 @@ let quick_flag =
   let doc = "Shrink run lengths for a fast smoke pass." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record every scheduling decision (wakeups, filter cascade, bitmap \
+     pushes, reuseport picks, WST writes) as JSON lines to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace file f =
+  match file with
+  | None ->
+    f ();
+    `Ok ()
+  | Some path ->
+    (match open_out path with
+    | exception Sys_error msg ->
+      `Error (false, Printf.sprintf "cannot open trace file: %s" msg)
+    | oc ->
+      Trace.install (Trace.jsonl_sink oc);
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.uninstall ();
+          close_out oc)
+        f;
+      `Ok ())
+
 let list_cmd =
   let run () =
     List.iter
@@ -23,11 +48,9 @@ let run_cmd =
     let doc = "Experiment id (see $(b,list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run quick id =
+  let run quick trace id =
     match Experiments.Registry.find id with
-    | Some e ->
-      e.Experiments.Registry.run ~quick ();
-      `Ok ()
+    | Some e -> with_trace trace (fun () -> e.Experiments.Registry.run ~quick ())
     | None ->
       `Error
         ( false,
@@ -35,7 +58,7 @@ let run_cmd =
             (String.concat ", " (Experiments.Registry.ids ())) )
   in
   let doc = "Run one experiment and print its table/series." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ quick_flag $ id))
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ quick_flag $ trace_arg $ id))
 
 let disasm_cmd =
   let workers =
@@ -71,9 +94,11 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc) Term.(ret (const run $ workers))
 
 let all_cmd =
-  let run quick = Experiments.Registry.run_all ~quick () in
+  let run quick trace =
+    with_trace trace (fun () -> Experiments.Registry.run_all ~quick ())
+  in
   let doc = "Run every experiment in paper order." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ quick_flag $ trace_arg))
 
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in

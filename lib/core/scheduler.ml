@@ -13,7 +13,9 @@ let filter_time ~threshold ~now ~times mask =
         mask.(i) <- false)
     mask
 
-let filter_count ~theta_ratio ~values mask =
+(* As [filter_count], but returns the cutoff it applied (None when no
+   worker was live) so the trace can expose the effective avg + θ. *)
+let filter_count_cutoff ~theta_ratio ~values mask =
   let sum = ref 0 and live = ref 0 in
   Array.iteri
     (fun i alive ->
@@ -32,11 +34,26 @@ let filter_count ~theta_ratio ~values mask =
     let cutoff = avg +. theta in
     Array.iteri
       (fun i alive -> if alive && float_of_int values.(i) >= cutoff then mask.(i) <- false)
-      mask
+      mask;
+    Some cutoff
   end
+  else None
+
+let filter_count ~theta_ratio ~values mask =
+  ignore (filter_count_cutoff ~theta_ratio ~values mask)
 
 let count_live mask =
   Array.fold_left (fun acc alive -> if alive then acc + 1 else acc) 0 mask
+
+let mask_bits mask =
+  let bm = ref 0L in
+  Array.iteri (fun i alive -> if alive then bm := Kernel.Bitops.set_bit !bm i) mask;
+  !bm
+
+let trace_stage stage ~cutoff mask =
+  Trace.emit
+    (Trace.Sched_filter
+       { stage; cutoff; survivors = mask_bits mask; live = count_live mask })
 
 (* Cycle model: 3 atomic loads per worker for the snapshot, ~4 cycles of
    arithmetic per worker per filter stage, plus fixed overhead. *)
@@ -49,22 +66,35 @@ let schedule ~(config : Config.t) ~wst ~now =
   let after_time = ref total in
   List.iter
     (fun filter ->
-      (match filter with
+      match filter with
       | Config.By_time ->
         filter_time ~threshold:config.avail_threshold ~now ~times:snapshot.times mask;
-        after_time := count_live mask
+        after_time := count_live mask;
+        if Trace.enabled () then
+          trace_stage "time" ~cutoff:(float_of_int config.avail_threshold) mask
       | Config.By_conn ->
-        filter_count ~theta_ratio:config.theta_ratio ~values:snapshot.conns mask
+        let cutoff =
+          filter_count_cutoff ~theta_ratio:config.theta_ratio ~values:snapshot.conns
+            mask
+        in
+        if Trace.enabled () then
+          trace_stage "conn" ~cutoff:(Option.value cutoff ~default:0.0) mask
       | Config.By_event ->
-        filter_count ~theta_ratio:config.theta_ratio ~values:snapshot.events mask))
+        let cutoff =
+          filter_count_cutoff ~theta_ratio:config.theta_ratio ~values:snapshot.events
+            mask
+        in
+        if Trace.enabled () then
+          trace_stage "event" ~cutoff:(Option.value cutoff ~default:0.0) mask)
     config.filter_order;
-  let bitmap = ref 0L in
-  Array.iteri
-    (fun i alive -> if alive then bitmap := Kernel.Bitops.set_bit !bitmap i)
-    mask;
+  let bitmap = mask_bits mask in
+  let passed = count_live mask in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Sched_result { bitmap; passed; total; after_time = !after_time });
   {
-    bitmap = !bitmap;
-    passed = count_live mask;
+    bitmap;
+    passed;
     total;
     after_time = !after_time;
     cycles = cycle_cost ~workers:total ~stages:(List.length config.filter_order);

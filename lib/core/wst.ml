@@ -14,10 +14,22 @@ let create ~workers =
 
 let workers t = Array.length t.avail
 
-let set_avail t w ~now = Atomic.set t.avail.(w) now
+let set_avail t w ~now =
+  Atomic.set t.avail.(w) now;
+  if Trace.enabled () then
+    Trace.emit (Trace.Wst_write { worker = w; column = Trace.Avail; value = now })
 
-let add_busy t w delta = ignore (Atomic.fetch_and_add t.busy_cells.(w) delta)
-let add_conn t w delta = ignore (Atomic.fetch_and_add t.conn_cells.(w) delta)
+let add_busy t w delta =
+  let old = Atomic.fetch_and_add t.busy_cells.(w) delta in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Wst_write { worker = w; column = Trace.Busy; value = old + delta })
+
+let add_conn t w delta =
+  let old = Atomic.fetch_and_add t.conn_cells.(w) delta in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Wst_write { worker = w; column = Trace.Conn; value = old + delta })
 
 let avail_ts t w = Atomic.get t.avail.(w)
 let busy t w = Atomic.get t.busy_cells.(w)

@@ -107,6 +107,7 @@ let step t =
     | Some ev when ev.cancelled -> next ()
     | Some ev ->
       t.clock <- ev.time;
+      Trace.set_now ev.time;
       ev.cancelled <- true;
       t.fired <- t.fired + 1;
       ev.action ();
@@ -130,7 +131,10 @@ let run_until t ~limit =
     | Some time when time <= limit -> if not (step t) then continue := false
     | _ -> continue := false
   done;
-  if t.clock < limit then t.clock <- limit
+  if t.clock < limit then begin
+    t.clock <- limit;
+    Trace.set_now limit
+  end
 
 let stop t = t.stopping <- true
 let events_fired t = t.fired

@@ -202,8 +202,25 @@ let rec eval_ret ctx env cycles = function
     let v = eval_expr ctx env cycles bound in
     eval_ret ctx ((name, v) :: env) cycles body
 
+let outcome_name = function
+  | Selected _ -> "select"
+  | Fell_back -> "fallback"
+  | Dropped -> "drop"
+
 let run v ctx =
   let cycles = ref 0 in
-  match eval_ret ctx [] cycles v.vbody with
-  | outcome -> (outcome, !cycles)
-  | exception Fault -> (Fell_back, !cycles)
+  let outcome =
+    match eval_ret ctx [] cycles v.vbody with
+    | outcome -> outcome
+    | exception Fault -> Fell_back
+  in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Prog_run
+         {
+           prog = v.vname;
+           flow_hash = ctx.flow_hash;
+           outcome = outcome_name outcome;
+           cycles = !cycles;
+         });
+  (outcome, !cycles)

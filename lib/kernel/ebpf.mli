@@ -78,6 +78,9 @@ type ctx = { flow_hash : int; dst_port : int }
 
 type outcome = Selected of Socket.t | Fell_back | Dropped
 
+val outcome_name : outcome -> string
+(** "select" / "fallback" / "drop" — the trace rendering. *)
+
 val run : verified -> ctx -> outcome * int
 (** Execute; the second component is the cycle estimate.  A runtime
     fault (bad map key, select of an empty or out-of-range sockarray

@@ -53,7 +53,9 @@ module Syscall = struct
 
   let update_elem map key v =
     Atomic.incr counter;
-    Array_map.kernel_update map key v
+    Array_map.kernel_update map key v;
+    if Trace.enabled () then
+      Trace.emit (Trace.Map_update { map = Array_map.name map; key; value = v })
 
   let read_elem map key =
     Atomic.incr counter;

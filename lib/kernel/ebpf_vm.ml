@@ -582,6 +582,18 @@ let run v (ctx : Ebpf.ctx) =
       else if Int64.equal (get R0) drop_code then Ebpf.Dropped
       else Ebpf.Fell_back
   in
-  match step 0 with
-  | outcome -> (outcome, !cycles)
-  | exception Fault -> (Ebpf.Fell_back, !cycles)
+  let outcome =
+    match step 0 with
+    | outcome -> outcome
+    | exception Fault -> Ebpf.Fell_back
+  in
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Prog_run
+         {
+           prog = "bytecode";
+           flow_hash = ctx.Ebpf.flow_hash;
+           outcome = Ebpf.outcome_name outcome;
+           cycles = !cycles;
+         });
+  (outcome, !cycles)

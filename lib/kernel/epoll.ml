@@ -119,7 +119,27 @@ let wait_poll t ~max_events =
       end)
     t.shared_order;
   t.scan_cost <- !scanned;
-  List.rev !events
+  let delivered = List.rev !events in
+  (match delivered with
+  | [] -> ()
+  | _ :: _ ->
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Epoll_dispatch
+           {
+             worker = t.owner;
+             events =
+               List.map
+                 (fun e ->
+                   let kind =
+                     match e.kind with
+                     | Accept_ready -> Trace.Accept_io
+                     | Readable -> Trace.Read_io
+                   in
+                   (e.fd, kind, e.units))
+                 delivered;
+           }));
+  delivered
 
 let last_scan_cost t = t.scan_cost
 

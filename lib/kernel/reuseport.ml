@@ -59,7 +59,9 @@ let detach_ebpf t = t.prog <- None
    reciprocal_scale of the flow hash. *)
 let hash_select t ~flow_hash =
   let live =
-    Array.to_list t.members |> List.filter_map (fun m -> m)
+    Array.to_list t.members
+    |> List.mapi (fun slot m -> Option.map (fun sock -> (slot, sock)) m)
+    |> List.filter_map (fun m -> m)
   in
   match live with
   | [] -> None
@@ -68,12 +70,27 @@ let hash_select t ~flow_hash =
     let idx = Bitops.reciprocal_scale ~hash:flow_hash ~n in
     Some (List.nth live idx)
 
+(* Member slot of a program-selected socket, for the trace (the
+   sockarray the program indexed holds the same sockets as the group's
+   member table). *)
+let slot_of_socket t sock =
+  let n = Array.length t.members in
+  let rec go i =
+    if i >= n then -1
+    else
+      match t.members.(i) with Some s when s == sock -> i | _ -> go (i + 1)
+  in
+  go 0
+
 let select t ~flow_hash =
   let fallback () =
     match hash_select t ~flow_hash with
     | None -> None
-    | Some sock ->
+    | Some (slot, sock) ->
       t.by_hash <- t.by_hash + 1;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Rp_select { port = t.group_port; flow_hash; via = Trace.Hash; slot });
       Some sock
   in
   match t.prog with
@@ -87,10 +104,21 @@ let select t ~flow_hash =
     match outcome with
     | Ebpf.Selected sock ->
       t.by_prog <- t.by_prog + 1;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Rp_select
+             {
+               port = t.group_port;
+               flow_hash;
+               via = Trace.Prog;
+               slot = slot_of_socket t sock;
+             });
       Some sock
     | Ebpf.Fell_back -> fallback ()
     | Ebpf.Dropped ->
       t.drop_count <- t.drop_count + 1;
+      if Trace.enabled () then
+        Trace.emit (Trace.Rp_drop { port = t.group_port; flow_hash });
       None)
 
 let stats t =

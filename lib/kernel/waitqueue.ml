@@ -25,38 +25,63 @@ let move_to_tail t id =
   | [ w ], rest -> t.entries <- rest @ [ w ]
   | _ -> ()
 
+let trace_policy = function
+  | Lifo_exclusive -> Trace.Lifo
+  | Roundrobin_exclusive -> Trace.Rr
+  | Wake_all -> Trace.All
+  | Fifo_exclusive -> Trace.Fifo
+
 let wake t =
-  match t.queue_mode with
-  | Wake_all ->
-    let woken = ref 0 in
-    List.iter
-      (fun w ->
-        t.steps <- t.steps + 1;
-        if w.try_wake () then incr woken)
-      t.entries;
-    t.woken <- t.woken + !woken;
-    !woken
-  | Lifo_exclusive | Roundrobin_exclusive | Fifo_exclusive ->
-    let rec walk = function
-      | [] -> 0
-      | w :: rest ->
-        t.steps <- t.steps + 1;
-        if w.try_wake () then begin
-          if t.queue_mode = Roundrobin_exclusive then move_to_tail t w.id;
-          1
-        end
-        else walk rest
-    in
-    let order =
-      (* FIFO walks from the oldest registration; head-insertion makes
-         that the reverse of the stored list. *)
-      match t.queue_mode with
-      | Fifo_exclusive -> List.rev t.entries
-      | Lifo_exclusive | Roundrobin_exclusive | Wake_all -> t.entries
-    in
-    let woken = walk order in
-    t.woken <- t.woken + woken;
-    woken
+  let steps_before = t.steps in
+  let snapshot =
+    if Trace.enabled () then List.map (fun w -> w.id) t.entries else []
+  in
+  let woken_ids = ref [] in
+  let woken =
+    match t.queue_mode with
+    | Wake_all ->
+      let woken = ref 0 in
+      List.iter
+        (fun w ->
+          t.steps <- t.steps + 1;
+          if w.try_wake () then begin
+            woken_ids := w.id :: !woken_ids;
+            incr woken
+          end)
+        t.entries;
+      !woken
+    | Lifo_exclusive | Roundrobin_exclusive | Fifo_exclusive ->
+      let rec walk = function
+        | [] -> 0
+        | w :: rest ->
+          t.steps <- t.steps + 1;
+          if w.try_wake () then begin
+            woken_ids := [ w.id ];
+            if t.queue_mode = Roundrobin_exclusive then move_to_tail t w.id;
+            1
+          end
+          else walk rest
+      in
+      let order =
+        (* FIFO walks from the oldest registration; head-insertion makes
+           that the reverse of the stored list. *)
+        match t.queue_mode with
+        | Fifo_exclusive -> List.rev t.entries
+        | Lifo_exclusive | Roundrobin_exclusive | Wake_all -> t.entries
+      in
+      walk order
+  in
+  t.woken <- t.woken + woken;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Wq_wake
+         {
+           policy = trace_policy t.queue_mode;
+           queue = snapshot;
+           woken = List.rev !woken_ids;
+           steps = t.steps - steps_before;
+         });
+  woken
 
 let order t = List.map (fun w -> w.id) t.entries
 let traversal_steps t = t.steps

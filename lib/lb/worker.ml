@@ -176,6 +176,14 @@ let do_close t conn final_state =
   Hashtbl.remove t.conn_table conn.Conn.fd;
   conn_add t (-1);
   conn.Conn.state <- final_state;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Close
+         {
+           worker = t.worker_id;
+           conn = conn.Conn.id;
+           reset = final_state = Conn.Reset;
+         });
   match final_state with
   | Conn.Closed ->
     t.worker_stats.closed <- t.worker_stats.closed + 1;
@@ -312,6 +320,9 @@ and handle_accept t fd units rest k =
              Kernel.Epoll.add_conn t.ep ~fd:conn_fd;
              conn_add t 1;
              t.worker_stats.accepted <- t.worker_stats.accepted + 1;
+             if Trace.enabled () then
+               Trace.emit
+                 (Trace.Accept { worker = t.worker_id; conn = conn.Conn.id });
              t.callbacks.on_established conn
            end);
           busy_add t (-1);

@@ -1,0 +1,225 @@
+type policy = Lifo | Rr | All | Fifo
+type via = Prog | Hash
+type column = Avail | Busy | Conn
+type io = Accept_io | Read_io
+
+type event =
+  | Wq_wake of { policy : policy; queue : int list; woken : int list; steps : int }
+  | Epoll_dispatch of { worker : int; events : (int * io * int) list }
+  | Sched_filter of { stage : string; cutoff : float; survivors : int64; live : int }
+  | Sched_result of { bitmap : int64; passed : int; total : int; after_time : int }
+  | Map_update of { map : string; key : int; value : int64 }
+  | Prog_run of { prog : string; flow_hash : int; outcome : string; cycles : int }
+  | Rp_select of { port : int; flow_hash : int; via : via; slot : int }
+  | Rp_drop of { port : int; flow_hash : int }
+  | Accept of { worker : int; conn : int }
+  | Close of { worker : int; conn : int; reset : bool }
+  | Wst_write of { worker : int; column : column; value : int }
+
+type record = { seq : int; time : int; event : event }
+
+type sink = { write : record -> unit; close : unit -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Global recorder state (tracepoint style: one process-wide sink)      *)
+
+let active : sink option ref = ref None
+let seq_counter = ref 0
+let clock = ref 0
+
+let enabled () = match !active with None -> false | Some _ -> true
+let set_now t = clock := t
+let now () = !clock
+
+let emit ev =
+  match !active with
+  | None -> ()
+  | Some s ->
+    s.write { seq = !seq_counter; time = !clock; event = ev };
+    incr seq_counter
+
+let uninstall () =
+  match !active with
+  | None -> ()
+  | Some s ->
+    active := None;
+    s.close ()
+
+let install s =
+  uninstall ();
+  seq_counter := 0;
+  clock := 0;
+  active := Some s
+
+let with_sink s f =
+  install s;
+  Fun.protect ~finally:uninstall f
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                          *)
+
+module Ring = struct
+  type buffer = {
+    buf : record array;
+    mutable next : int;
+    mutable stored : int;
+    mutable lost : int;
+  }
+
+  type t = buffer
+
+  let dummy = { seq = -1; time = 0; event = Rp_drop { port = 0; flow_hash = 0 } }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity must be positive";
+    { buf = Array.make capacity dummy; next = 0; stored = 0; lost = 0 }
+
+  let capacity t = Array.length t.buf
+
+  let write t r =
+    let cap = Array.length t.buf in
+    if t.stored = cap then t.lost <- t.lost + 1 else t.stored <- t.stored + 1;
+    t.buf.(t.next) <- r;
+    t.next <- (t.next + 1) mod cap
+
+  let length t = t.stored
+  let dropped t = t.lost
+
+  let records t =
+    let cap = Array.length t.buf in
+    List.init t.stored (fun i ->
+        t.buf.((t.next - t.stored + i + cap + cap) mod cap))
+
+  let clear t =
+    t.next <- 0;
+    t.stored <- 0;
+    t.lost <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let policy_name = function Lifo -> "lifo" | Rr -> "rr" | All -> "all" | Fifo -> "fifo"
+let via_name = function Prog -> "prog" | Hash -> "hash"
+let column_name = function Avail -> "avail" | Busy -> "busy" | Conn -> "conn"
+let io_name = function Accept_io -> "accept" | Read_io -> "read"
+
+let ids l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let io_events l =
+  "["
+  ^ String.concat ","
+      (List.map (fun (fd, k, units) -> Printf.sprintf "%d:%s*%d" fd (io_name k) units) l)
+  ^ "]"
+
+let render_event = function
+  | Wq_wake { policy; queue; woken; steps } ->
+    Printf.sprintf "wq.wake policy=%s queue=%s woken=%s steps=%d" (policy_name policy)
+      (ids queue) (ids woken) steps
+  | Epoll_dispatch { worker; events } ->
+    Printf.sprintf "epoll.dispatch worker=%d events=%s" worker (io_events events)
+  | Sched_filter { stage; cutoff; survivors; live } ->
+    Printf.sprintf "sched.filter stage=%s cutoff=%.2f survivors=0x%Lx live=%d" stage
+      cutoff survivors live
+  | Sched_result { bitmap; passed; total; after_time } ->
+    Printf.sprintf "sched.result bitmap=0x%Lx passed=%d/%d after_time=%d" bitmap passed
+      total after_time
+  | Map_update { map; key; value } ->
+    Printf.sprintf "ebpf.map_update map=%s key=%d value=0x%Lx" map key value
+  | Prog_run { prog; flow_hash; outcome; cycles } ->
+    Printf.sprintf "ebpf.run prog=%s hash=0x%x outcome=%s cycles=%d" prog flow_hash
+      outcome cycles
+  | Rp_select { port; flow_hash; via; slot } ->
+    Printf.sprintf "reuseport.select port=%d hash=0x%x via=%s slot=%d" port flow_hash
+      (via_name via) slot
+  | Rp_drop { port; flow_hash } ->
+    Printf.sprintf "reuseport.drop port=%d hash=0x%x" port flow_hash
+  | Accept { worker; conn } -> Printf.sprintf "worker.accept worker=%d conn=%d" worker conn
+  | Close { worker; conn; reset } ->
+    Printf.sprintf "worker.close worker=%d conn=%d reset=%b" worker conn reset
+  | Wst_write { worker; column; value } ->
+    Printf.sprintf "wst.write worker=%d col=%s value=%d" worker (column_name column) value
+
+let render r = Printf.sprintf "%10d %s" r.time (render_event r.event)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+
+let json_string s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+let json_ids l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let json_fields = function
+  | Wq_wake { policy; queue; woken; steps } ->
+    Printf.sprintf "\"policy\":%s,\"queue\":%s,\"woken\":%s,\"steps\":%d"
+      (json_string (policy_name policy))
+      (json_ids queue) (json_ids woken) steps
+  | Epoll_dispatch { worker; events } ->
+    Printf.sprintf "\"worker\":%d,\"events\":[%s]" worker
+      (String.concat ","
+         (List.map
+            (fun (fd, k, units) ->
+              Printf.sprintf "{\"fd\":%d,\"kind\":%s,\"units\":%d}" fd
+                (json_string (io_name k)) units)
+            events))
+  | Sched_filter { stage; cutoff; survivors; live } ->
+    Printf.sprintf "\"stage\":%s,\"cutoff\":%.2f,\"survivors\":\"0x%Lx\",\"live\":%d"
+      (json_string stage) cutoff survivors live
+  | Sched_result { bitmap; passed; total; after_time } ->
+    Printf.sprintf "\"bitmap\":\"0x%Lx\",\"passed\":%d,\"total\":%d,\"after_time\":%d"
+      bitmap passed total after_time
+  | Map_update { map; key; value } ->
+    Printf.sprintf "\"map\":%s,\"key\":%d,\"value\":\"0x%Lx\"" (json_string map) key value
+  | Prog_run { prog; flow_hash; outcome; cycles } ->
+    Printf.sprintf "\"prog\":%s,\"hash\":%d,\"outcome\":%s,\"cycles\":%d"
+      (json_string prog) flow_hash (json_string outcome) cycles
+  | Rp_select { port; flow_hash; via; slot } ->
+    Printf.sprintf "\"port\":%d,\"hash\":%d,\"via\":%s,\"slot\":%d" port flow_hash
+      (json_string (via_name via)) slot
+  | Rp_drop { port; flow_hash } -> Printf.sprintf "\"port\":%d,\"hash\":%d" port flow_hash
+  | Accept { worker; conn } -> Printf.sprintf "\"worker\":%d,\"conn\":%d" worker conn
+  | Close { worker; conn; reset } ->
+    Printf.sprintf "\"worker\":%d,\"conn\":%d,\"reset\":%b" worker conn reset
+  | Wst_write { worker; column; value } ->
+    Printf.sprintf "\"worker\":%d,\"col\":%s,\"value\":%d" worker
+      (json_string (column_name column)) value
+
+let event_name = function
+  | Wq_wake _ -> "wq.wake"
+  | Epoll_dispatch _ -> "epoll.dispatch"
+  | Sched_filter _ -> "sched.filter"
+  | Sched_result _ -> "sched.result"
+  | Map_update _ -> "ebpf.map_update"
+  | Prog_run _ -> "ebpf.run"
+  | Rp_select _ -> "reuseport.select"
+  | Rp_drop _ -> "reuseport.drop"
+  | Accept _ -> "worker.accept"
+  | Close _ -> "worker.close"
+  | Wst_write _ -> "wst.write"
+
+let json_of_record r =
+  Printf.sprintf "{\"seq\":%d,\"t\":%d,\"ev\":%s,%s}" r.seq r.time
+    (json_string (event_name r.event))
+    (json_fields r.event)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+
+let ring_sink ring = { write = (fun r -> Ring.write ring r); close = (fun () -> ()) }
+
+let jsonl_sink oc =
+  {
+    write =
+      (fun r ->
+        output_string oc (json_of_record r);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let text_sink oc =
+  {
+    write =
+      (fun r ->
+        output_string oc (render r);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }

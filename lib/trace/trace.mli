@@ -1,0 +1,132 @@
+(** Structured event tracing for the scheduling decision points.
+
+    The paper's claims are {e ordering} claims — which worker a wakeup
+    chose, which filter dropped whom, which socket the eBPF dispatcher
+    picked — so end-state counters cannot distinguish a correct policy
+    from a wrong one that happens to balance load.  This recorder
+    captures every such decision as a typed event with a virtual-time
+    stamp, for the golden-trace conformance harness ([test/golden]) and
+    for offline inspection ([hermes_sim run --trace out.jsonl]).
+
+    The design mirrors kernel tracepoints: one process-wide sink,
+    installed explicitly; instrumented call sites guard event
+    construction behind {!enabled}, so a disabled recorder costs one
+    load and one branch per decision point — nothing is allocated,
+    formatted, or buffered.  Events are stamped with the installing
+    simulation's virtual clock (fed by {!set_now} from the simulator's
+    event loop) and a monotone sequence number, so captured traces are
+    bit-for-bit deterministic across runs. *)
+
+type policy = Lifo | Rr | All | Fifo  (** wait-queue wakeup policy *)
+
+type via = Prog | Hash
+(** Reuseport selection path: eBPF-bitmap-overridden or default hash. *)
+
+type column = Avail | Busy | Conn  (** WST row written *)
+
+type io = Accept_io | Read_io  (** epoll readiness kind *)
+
+type event =
+  | Wq_wake of { policy : policy; queue : int list; woken : int list; steps : int }
+      (** One wait-queue traversal: the queue snapshot before the walk
+          (head first), the workers actually woken in wake order, and
+          the number of waiter callbacks invoked. *)
+  | Epoll_dispatch of { worker : int; events : (int * io * int) list }
+      (** A non-empty [epoll_wait] batch handed to a worker:
+          (fd, kind, units) in delivery order. *)
+  | Sched_filter of { stage : string; cutoff : float; survivors : int64; live : int }
+      (** One stage of the Algo 1 cascade ("time", "conn" or "event"):
+          the cutoff applied (staleness threshold in ns, or
+          [avg + θ]) and the surviving-worker mask after the stage. *)
+  | Sched_result of { bitmap : int64; passed : int; total : int; after_time : int }
+      (** The cascade's final bitmap, as pushed to the kernel. *)
+  | Map_update of { map : string; key : int; value : int64 }
+      (** A bpf() map-update syscall — the bitmap push of Fig. 9
+          line 20. *)
+  | Prog_run of { prog : string; flow_hash : int; outcome : string; cycles : int }
+      (** One eBPF dispatch-program execution; [outcome] is "select",
+          "fallback" or "drop". *)
+  | Rp_select of { port : int; flow_hash : int; via : via; slot : int }
+      (** Reuseport socket selection for one SYN: the winning member
+          slot and whether the program or the default hash chose it. *)
+  | Rp_drop of { port : int; flow_hash : int }
+  | Accept of { worker : int; conn : int }
+  | Close of { worker : int; conn : int; reset : bool }
+  | Wst_write of { worker : int; column : column; value : int }
+      (** A worker's WST column update; [worker] is the within-group
+          index, [value] the cell's new contents. *)
+
+type record = { seq : int; time : int; event : event }
+(** [time] is virtual nanoseconds ({!set_now}); [seq] a process-wide
+    monotone counter reset by {!install}. *)
+
+type sink = { write : record -> unit; close : unit -> unit }
+
+(** {1 Recorder control} *)
+
+val enabled : unit -> bool
+(** Cheap guard for instrumentation sites:
+    [if Trace.enabled () then Trace.emit (...)]. *)
+
+val emit : event -> unit
+(** Record one event (no-op when no sink is installed).  Call sites
+    should guard with {!enabled} so the event is not even constructed
+    when tracing is off. *)
+
+val set_now : int -> unit
+(** Update the timestamp applied to subsequent events; called by the
+    simulator as its clock advances. *)
+
+val now : unit -> int
+
+val install : sink -> unit
+(** Make [sink] the active recorder (closing any previous one) and
+    reset the sequence counter and clock. *)
+
+val uninstall : unit -> unit
+(** Stop recording and close the active sink.  Idempotent. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s], runs [f], and uninstalls — even on
+    exceptions. *)
+
+(** {1 Ring buffer} *)
+
+module Ring : sig
+  type t
+  (** Fixed-capacity ring keeping the {e most recent} records. *)
+
+  val create : capacity:int -> t
+  val capacity : t -> int
+  val write : t -> record -> unit
+  val length : t -> int
+
+  val dropped : t -> int
+  (** Records overwritten because the ring was full. *)
+
+  val records : t -> record list
+  (** Retained records, oldest first. *)
+
+  val clear : t -> unit
+end
+
+(** {1 Sinks} *)
+
+val ring_sink : Ring.t -> sink
+(** In-memory sink for tests: events land in the ring. *)
+
+val jsonl_sink : out_channel -> sink
+(** One JSON object per line; flushed on close.  The channel itself is
+    not closed. *)
+
+val text_sink : out_channel -> sink
+(** The {!render} form, one event per line — the golden-file format. *)
+
+(** {1 Rendering} *)
+
+val render_event : event -> string
+val render : record -> string
+(** Stable single-line form: right-aligned timestamp, then the event. *)
+
+val json_of_record : record -> string
+val event_name : event -> string

@@ -124,6 +124,63 @@ let prop_scheduler_deterministic =
       let r2 = Hermes.Scheduler.schedule ~config:Hermes.Config.default ~wst ~now in
       Int64.equal r1.Hermes.Scheduler.bitmap r2.Hermes.Scheduler.bitmap)
 
+(* The coarse filter can never empty the bitmap while at least one
+   worker is fresh: FilterCount's cutoff is avg + max(1, theta), and
+   the minimum-valued live worker is always strictly below it. *)
+let prop_scheduler_bitmap_never_empty_with_fresh_worker =
+  QCheck.Test.make ~name:"scheduler: >=1 fresh worker => non-empty bitmap"
+    ~count:300 (QCheck.make gen_wst_state) (fun state ->
+      let now = ms 1000 in
+      let wst = build_wst state now in
+      let cfg = Hermes.Config.default in
+      let threshold = cfg.Hermes.Config.avail_threshold in
+      (* build_wst stamps worker avail at [now - age], so fresh iff the
+         age is under FilterTime's staleness threshold *)
+      let fresh = List.exists (fun (age, _, _) -> ms age < threshold) state in
+      let r = Hermes.Scheduler.schedule ~config:cfg ~wst ~now in
+      (not fresh) || r.Hermes.Scheduler.passed > 0)
+
+(* The theta floor (max 1.0 slack) must keep an all-idle group fully
+   selected: with every counter at zero, avg = 0 and the cutoff is 1,
+   so nobody is filtered and the hash fallback is never triggered. *)
+let prop_scheduler_all_idle_fully_selected =
+  QCheck.Test.make ~name:"scheduler: all-idle group fully selected" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 1 64)) (fun workers ->
+      let now = ms 1000 in
+      let wst = Hermes.Wst.create ~workers in
+      for w = 0 to workers - 1 do
+        Hermes.Wst.set_avail wst w ~now
+      done;
+      let r = Hermes.Scheduler.schedule ~config:Hermes.Config.default ~wst ~now in
+      r.Hermes.Scheduler.passed = workers
+      && Kernel.Bitops.popcount64 r.Hermes.Scheduler.bitmap = workers)
+
+(* passed = popcount(bitmap) under every filter-order permutation, not
+   just the paper's time->conn->event default. *)
+let prop_scheduler_passed_is_popcount_all_orders =
+  QCheck.Test.make ~name:"scheduler: passed = popcount under any filter order"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair gen_wst_state (int_bound 5)))
+    (fun (state, perm_ix) ->
+      let orders =
+        [
+          [ Hermes.Config.By_time; By_conn; By_event ];
+          [ Hermes.Config.By_time; By_event; By_conn ];
+          [ Hermes.Config.By_conn; By_time; By_event ];
+          [ Hermes.Config.By_conn; By_event; By_time ];
+          [ Hermes.Config.By_event; By_time; By_conn ];
+          [ Hermes.Config.By_event; By_conn; By_time ];
+        ]
+      in
+      let config =
+        { Hermes.Config.default with filter_order = List.nth orders perm_ix }
+      in
+      let now = ms 1000 in
+      let wst = build_wst state now in
+      let r = Hermes.Scheduler.schedule ~config ~wst ~now in
+      Kernel.Bitops.popcount64 r.Hermes.Scheduler.bitmap = r.Hermes.Scheduler.passed)
+
 (* A fresh, idle worker among loaded ones must always be selected: it
    is below every average-based cutoff. *)
 let prop_scheduler_idle_always_in =
@@ -215,6 +272,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_scheduler_excludes_hung;
           QCheck_alcotest.to_alcotest prop_scheduler_deterministic;
           QCheck_alcotest.to_alcotest prop_scheduler_idle_always_in;
+          QCheck_alcotest.to_alcotest
+            prop_scheduler_bitmap_never_empty_with_fresh_worker;
+          QCheck_alcotest.to_alcotest prop_scheduler_all_idle_fully_selected;
+          QCheck_alcotest.to_alcotest prop_scheduler_passed_is_popcount_all_orders;
         ] );
       ( "waitqueue",
         [

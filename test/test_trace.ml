@@ -1,0 +1,177 @@
+(* Trace subsystem tests: recorder/ring semantics, rendering stability
+   (the golden-file format), and wakeup-order conformance driven
+   through the full device stack — asserting the *sequence* of woken
+   workers per policy, not just wake counts. *)
+
+let check = Alcotest.check
+let ms = Engine.Sim_time.ms
+
+(* ------------------------------------------------------------------ *)
+(* Recorder and ring                                                    *)
+
+let test_disabled_by_default () =
+  check Alcotest.bool "disabled" false (Trace.enabled ());
+  (* emit without a sink is a no-op *)
+  Trace.emit (Trace.Accept { worker = 0; conn = 1 })
+
+let test_ring_keeps_most_recent () =
+  let ring = Trace.Ring.create ~capacity:4 in
+  Trace.with_sink (Trace.ring_sink ring) (fun () ->
+      check Alcotest.bool "enabled inside" true (Trace.enabled ());
+      for i = 1 to 10 do
+        Trace.emit (Trace.Accept { worker = 0; conn = i })
+      done);
+  check Alcotest.bool "disabled after" false (Trace.enabled ());
+  check Alcotest.int "capacity" 4 (Trace.Ring.capacity ring);
+  check Alcotest.int "length" 4 (Trace.Ring.length ring);
+  check Alcotest.int "dropped" 6 (Trace.Ring.dropped ring);
+  let conns =
+    List.map
+      (fun r ->
+        match r.Trace.event with Trace.Accept { conn; _ } -> conn | _ -> -1)
+      (Trace.Ring.records ring)
+  in
+  check Alcotest.(list int) "most recent, oldest first" [ 7; 8; 9; 10 ] conns
+
+let test_seq_and_time_stamping () =
+  let ring = Trace.Ring.create ~capacity:16 in
+  Trace.with_sink (Trace.ring_sink ring) (fun () ->
+      Trace.set_now 100;
+      Trace.emit (Trace.Accept { worker = 1; conn = 1 });
+      Trace.set_now 250;
+      Trace.emit (Trace.Close { worker = 1; conn = 1; reset = false }));
+  match Trace.Ring.records ring with
+  | [ a; b ] ->
+    check Alcotest.int "seq 0" 0 a.Trace.seq;
+    check Alcotest.int "seq 1" 1 b.Trace.seq;
+    check Alcotest.int "t 100" 100 a.Trace.time;
+    check Alcotest.int "t 250" 250 b.Trace.time
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+(* The text rendering is the golden-file format: pin it exactly so an
+   accidental format change shows up here, not as a confusing golden
+   diff. *)
+let test_render_stability () =
+  let cases =
+    [
+      ( Trace.Wq_wake { policy = Trace.Lifo; queue = [ 3; 2 ]; woken = [ 3 ]; steps = 1 },
+        "wq.wake policy=lifo queue=[3,2] woken=[3] steps=1" );
+      ( Trace.Epoll_dispatch
+          { worker = 2; events = [ (4, Trace.Accept_io, 2); (5, Trace.Read_io, 1) ] },
+        "epoll.dispatch worker=2 events=[4:accept*2,5:read*1]" );
+      ( Trace.Sched_filter { stage = "conn"; cutoff = 1.25; survivors = 0xfL; live = 4 },
+        "sched.filter stage=conn cutoff=1.25 survivors=0xf live=4" );
+      ( Trace.Sched_result { bitmap = 0xeL; passed = 3; total = 4; after_time = 4 },
+        "sched.result bitmap=0xe passed=3/4 after_time=4" );
+      ( Trace.Map_update { map = "M_Sel"; key = 0; value = 0xfL },
+        "ebpf.map_update map=M_Sel key=0 value=0xf" );
+      ( Trace.Prog_run
+          { prog = "hermes_dispatch"; flow_hash = 0xab; outcome = "select"; cycles = 38 },
+        "ebpf.run prog=hermes_dispatch hash=0xab outcome=select cycles=38" );
+      ( Trace.Rp_select { port = 80; flow_hash = 0xcd; via = Trace.Prog; slot = 2 },
+        "reuseport.select port=80 hash=0xcd via=prog slot=2" );
+      ( Trace.Rp_drop { port = 80; flow_hash = 0xcd },
+        "reuseport.drop port=80 hash=0xcd" );
+      (Trace.Accept { worker = 1; conn = 7 }, "worker.accept worker=1 conn=7");
+      ( Trace.Close { worker = 1; conn = 7; reset = true },
+        "worker.close worker=1 conn=7 reset=true" );
+      ( Trace.Wst_write { worker = 3; column = Trace.Busy; value = 2 },
+        "wst.write worker=3 col=busy value=2" );
+    ]
+  in
+  List.iter
+    (fun (ev, expected) -> check Alcotest.string expected expected (Trace.render_event ev))
+    cases
+
+let test_jsonl_roundtrip_shape () =
+  let r =
+    {
+      Trace.seq = 3;
+      time = 42;
+      event = Trace.Rp_select { port = 80; flow_hash = 7; via = Trace.Hash; slot = 1 };
+    }
+  in
+  check Alcotest.string "json line"
+    "{\"seq\":3,\"t\":42,\"ev\":\"reuseport.select\",\"port\":80,\"hash\":7,\"via\":\"hash\",\"slot\":1}"
+    (Trace.json_of_record r)
+
+(* ------------------------------------------------------------------ *)
+(* Wakeup-order conformance through the device stack                    *)
+
+(* Drive [conns] spaced connects through a 4-worker device and return
+   the woken-worker list of every wait-queue traversal, in order. *)
+let wake_sequences mode ~conns ~spacing =
+  let ring = Trace.Ring.create ~capacity:65536 in
+  Trace.with_sink (Trace.ring_sink ring) (fun () ->
+      let sim = Engine.Sim.create () in
+      let rng = Engine.Rng.create 5 in
+      let tenants = Netsim.Tenant.population ~n:1 ~base_dport:21000 in
+      let device = Lb.Device.create ~sim ~rng ~mode ~workers:4 ~tenants () in
+      Lb.Device.start device;
+      for i = 1 to conns do
+        ignore
+          (Engine.Sim.schedule sim ~at:(spacing * i) (fun () ->
+               Lb.Device.connect device ~tenant:0
+                 ~events:Lb.Device.null_conn_events))
+      done;
+      Engine.Sim.run_until sim ~limit:(spacing * (conns + 2)));
+  check Alcotest.int "no ring overflow" 0 (Trace.Ring.dropped ring);
+  List.filter_map
+    (fun r ->
+      match r.Trace.event with
+      | Trace.Wq_wake { woken; _ } -> Some woken
+      | _ -> None)
+    (Trace.Ring.records ring)
+
+let test_exclusive_is_lifo () =
+  let seqs = wake_sequences Lb.Device.Exclusive ~conns:6 ~spacing:(ms 2) in
+  check Alcotest.int "one wake per connect" 6 (List.length seqs);
+  (* head insertion: the most recently registered worker (3) wins every
+     single time — the concentration pathology, as a sequence *)
+  List.iter (fun woken -> check Alcotest.(list int) "head wins" [ 3 ] woken) seqs
+
+let test_rr_rotates () =
+  let seqs = wake_sequences Lb.Device.Epoll_rr ~conns:8 ~spacing:(ms 2) in
+  check
+    Alcotest.(list (list int))
+    "rotation, twice around"
+    [ [ 3 ]; [ 2 ]; [ 1 ]; [ 0 ]; [ 3 ]; [ 2 ]; [ 1 ]; [ 0 ] ]
+    seqs
+
+let test_fifo_is_oldest_first () =
+  let seqs = wake_sequences Lb.Device.Io_uring_fifo ~conns:6 ~spacing:(ms 2) in
+  check Alcotest.int "one wake per connect" 6 (List.length seqs);
+  (* FIFO starts from the oldest registration: worker 0, every time *)
+  List.iter (fun woken -> check Alcotest.(list int) "oldest wins" [ 0 ] woken) seqs
+
+let test_wake_all_herd () =
+  let seqs = wake_sequences Lb.Device.Wake_all ~conns:4 ~spacing:(ms 2) in
+  check Alcotest.int "one traversal per connect" 4 (List.length seqs);
+  (* every blocked worker is woken, in queue (head-first) order: the
+     thundering herd, per wake *)
+  List.iter
+    (fun woken -> check Alcotest.(list int) "whole herd" [ 3; 2; 1; 0 ] woken)
+    seqs
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+          Alcotest.test_case "ring keeps most recent" `Quick test_ring_keeps_most_recent;
+          Alcotest.test_case "seq and time stamping" `Quick test_seq_and_time_stamping;
+          Alcotest.test_case "render stability" `Quick test_render_stability;
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_roundtrip_shape;
+        ] );
+      ( "wakeup-order",
+        [
+          Alcotest.test_case "exclusive = LIFO" `Quick test_exclusive_is_lifo;
+          Alcotest.test_case "rr = rotation" `Quick test_rr_rotates;
+          Alcotest.test_case "io_uring fifo = oldest first" `Quick
+            test_fifo_is_oldest_first;
+          Alcotest.test_case "wake_all = herd" `Quick test_wake_all_herd;
+        ] );
+    ]
