@@ -60,11 +60,14 @@ let dispatch_vm =
       (Kernel.Socket.create_listen ~port:80 ~backlog:4)
   done;
   match
-    Kernel.Ebpf_vm.compile_and_verify
+    Kernel.Verifier.compile_and_verify
       (Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2)
   with
-  | Ok v -> v
-  | Error msg -> failwith msg
+  | Ok v ->
+    if not (Kernel.Ebpf_vm.fully_proved v) then
+      failwith "bench: dispatch bytecode left residual runtime checks";
+    v
+  | Error e -> failwith (Kernel.Verifier.error_to_string e)
 
 let router100 =
   Lb.Router.create
@@ -108,6 +111,10 @@ let micro_tests =
     Test.make ~name:"hermes/ebpf_dispatch_bytecode"
       (Staged.stage (fun () ->
            Kernel.Ebpf_vm.run dispatch_vm
+             { Kernel.Ebpf.flow_hash = 0x9E3779B9; dst_port = 20007 }));
+    Test.make ~name:"hermes/ebpf_dispatch_bytecode_checked"
+      (Staged.stage (fun () ->
+           Kernel.Ebpf_vm.run_checked dispatch_vm
              { Kernel.Ebpf.flow_hash = 0x9E3779B9; dst_port = 20007 }));
     Test.make ~name:"stats/histogram_record"
       (Staged.stage (fun () -> Stats.Histogram.record hist 123456.0));

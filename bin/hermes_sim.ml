@@ -74,8 +74,8 @@ let disasm_cmd =
         Kernel.Ebpf_maps.Sockarray.create ~name:"M_socket" ~size:workers
       in
       let prog = Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2 in
-      match Kernel.Ebpf_vm.compile_and_verify prog with
-      | Error msg -> `Error (false, msg)
+      match Kernel.Verifier.compile_and_verify prog with
+      | Error e -> `Error (false, Kernel.Verifier.error_to_string e)
       | Ok verified ->
         Printf.printf
           "; Algo 2 dispatch program for %d workers, compiled and verified\n\
@@ -93,6 +93,91 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(ret (const run $ workers))
 
+(* Verifier lint: every dispatch program the simulator can ship must
+   pass the abstract interpreter with a complete certificate — Algo 2
+   compiles loop-free, so any backward edge or residual runtime check
+   is a regression. *)
+let verify_cmd =
+  let dump_flag =
+    let doc = "Also dump the per-instruction abstract states." in
+    Arg.(value & flag & info [ "dump" ] ~doc)
+  in
+  let presets () =
+    let single workers =
+      let m_sel =
+        Kernel.Ebpf_maps.Array_map.create ~name:"M_Sel" ~size:1
+      in
+      let m_socket =
+        Kernel.Ebpf_maps.Sockarray.create ~name:"M_socket" ~size:workers
+      in
+      ( Printf.sprintf "single_w%d" workers,
+        Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2 )
+    in
+    let two_level workers group_size mode =
+      let g = Hermes.Groups.create ~workers ~group_size ~mode in
+      let m_socket =
+        Kernel.Ebpf_maps.Sockarray.create ~name:"M_socket" ~size:workers
+      in
+      ( Printf.sprintf "two_level_w%d_g%d_%s" workers group_size
+          (match mode with
+          | Hermes.Groups.By_flow_hash -> "hash"
+          | Hermes.Groups.By_dst_port -> "port"),
+        Hermes.Groups.make_prog g ~m_socket ~min_selected:2 )
+    in
+    List.map single [ 4; 8; 16; 32; 64 ]
+    @ [
+        two_level 8 4 Hermes.Groups.By_flow_hash;
+        two_level 128 64 Hermes.Groups.By_flow_hash;
+        two_level 128 64 Hermes.Groups.By_dst_port;
+      ]
+  in
+  let run dump =
+    let failures = ref [] in
+    Printf.printf "%-24s %6s %8s %8s %7s %9s  %s\n" "program" "insns"
+      "backjmp" "visited" "proved" "residual" "verdict";
+    List.iter
+      (fun (name, prog) ->
+        match Kernel.Ebpf_vm.compile prog with
+        | Error msg ->
+          Printf.printf "%-24s %s\n" name ("compile failed: " ^ msg);
+          failures := name :: !failures
+        | Ok code -> (
+          match Kernel.Verifier.verify ~name ~collect_states:dump code with
+          | Error e ->
+            Printf.printf "%-24s %6d %8s %8s %7s %9s  rejected: %s\n" name
+              (Array.length code) "-" "-" "-" "-"
+              (Kernel.Verifier.error_to_string e);
+            failures := name :: !failures
+          | Ok (_vm, r) ->
+            let clean = r.Kernel.Verifier.residual = 0
+                        && r.Kernel.Verifier.backward_edges = 0 in
+            Printf.printf "%-24s %6d %8d %8d %7d %9d  %s\n" name
+              r.Kernel.Verifier.insns r.Kernel.Verifier.backward_edges
+              r.Kernel.Verifier.visited r.Kernel.Verifier.proved
+              r.Kernel.Verifier.residual
+              (if clean then "ok" else "UNPROVEN");
+            if not clean then failures := name :: !failures;
+            if dump then (
+              Printf.printf "; abstract states for %s\n" name;
+              Array.iteri
+                (fun pc st -> Printf.printf ";   %4d: %s\n" pc st)
+                r.Kernel.Verifier.states)))
+      (presets ());
+    match !failures with
+    | [] -> `Ok ()
+    | fs ->
+      `Error
+        ( false,
+          Printf.sprintf "verifier lint failed for: %s"
+            (String.concat ", " (List.rev fs)) )
+  in
+  let doc =
+    "Verify every shipped dispatch program with the abstract \
+     interpreter; fail unless each is accepted loop-free with a \
+     complete certificate (zero residual runtime checks)."
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ dump_flag))
+
 let all_cmd =
   let run quick trace =
     with_trace trace (fun () -> Experiments.Registry.run_all ~quick ())
@@ -103,6 +188,6 @@ let all_cmd =
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in
   let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; all_cmd; disasm_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; all_cmd; disasm_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -76,17 +76,40 @@ let rec ret_stats env = function
     (nb + n + 1, 1 + max db d)
 
 let verify prog =
-  if prog.name = "" then Error "verifier: program must be named"
-  else
-    match ret_stats [] prog.body with
-    | exception Unbound name ->
-      Error (Printf.sprintf "verifier: read of unbound register %s" name)
-    | insns, depth ->
-      if insns > max_insns then
-        Error (Printf.sprintf "verifier: %d insns exceeds budget %d" insns max_insns)
-      else if depth > max_depth then
-        Error (Printf.sprintf "verifier: depth %d exceeds limit %d" depth max_depth)
-      else Ok { vname = prog.name; vbody = prog.body; insns }
+  let result =
+    if prog.name = "" then Error "verifier: program must be named"
+    else
+      match ret_stats [] prog.body with
+      | exception Unbound name ->
+        Error (Printf.sprintf "verifier: read of unbound register %s" name)
+      | insns, depth ->
+        if insns > max_insns then
+          Error (Printf.sprintf "verifier: %d insns exceeds budget %d" insns max_insns)
+        else if depth > max_depth then
+          Error (Printf.sprintf "verifier: depth %d exceeds limit %d" depth max_depth)
+        else Ok { vname = prog.name; vbody = prog.body; insns }
+  in
+  (if Trace.enabled () then
+     let accepted, insns, reason =
+       match result with
+       | Ok v -> (true, v.insns, "")
+       | Error msg -> (false, 0, msg)
+     in
+     (* the AST checker has no fault sites to discharge: the evaluator
+        always keeps its runtime checks *)
+     Trace.emit
+       (Trace.Verifier_verdict
+          {
+            prog = prog.name;
+            backend = "ast";
+            accepted;
+            insns;
+            visited = insns;
+            proved = 0;
+            residual = 0;
+            reason;
+          }));
+  result
 
 let verify_exn prog =
   match verify prog with

@@ -25,6 +25,11 @@ module Array_map : sig
   (** Kernel-side [bpf_map_lookup_elem].  @raise Invalid_argument on an
       out-of-range key (the verifier would have rejected the access). *)
 
+  val unsafe_lookup : t -> int -> int64
+  (** [lookup] without the explicit range check, for accesses a
+      {!Verifier} certificate proved in bounds.  OCaml's array bounds
+      check still applies as a last-resort backstop. *)
+
   val kernel_update : t -> int -> int64 -> unit
   (** In-kernel store (not a syscall). *)
 end
@@ -39,6 +44,10 @@ module Sockarray : sig
   val set : t -> int -> Socket.t -> unit
   val clear : t -> int -> unit
   val get : t -> int -> Socket.t option
+
+  val unsafe_get : t -> int -> Socket.t option
+  (** [get] without the explicit range check, for accesses a
+      {!Verifier} certificate proved in bounds. *)
 end
 
 module Syscall : sig

@@ -308,11 +308,25 @@ let rec compile_ret ~fresh_label ~env ~slots ~free (ret : Ebpf.ret) =
   | Ebpf.Fallback -> [ I (Mov_imm (R0, fallback_code)); I Exit ]
   | Ebpf.Drop -> [ I (Mov_imm (R0, drop_code)); I Exit ]
   | Ebpf.Select (sockarray, idx) ->
+    (* Guard the computed index explicitly, exactly as real BPF
+       programs must: the in-kernel verifier only admits an array
+       access once the program itself has compared the index against
+       the array bounds, and our {!Verifier} discharges the
+       [Sk_select] obligation through the same branch refinement.
+       Out-of-range indices fall back — the same outcome the runtime
+       [Fault] check produced before. *)
+    let oob = fresh_label () in
+    let size = Int64.of_int (Ebpf_maps.Sockarray.size sockarray) in
     compile_expr ~fresh_label ~env ~slots ~free idx
     @ [
+        J (Jlt, reg_of_int free, Imm 0L, oob);
+        J (Jge, reg_of_int free, Imm size, oob);
         I (Mov_reg (R1, reg_of_int free));
         I (Call (Sk_select sockarray));
         I (Mov_imm (R0, pass_code));
+        I Exit;
+        L oob;
+        I (Mov_imm (R0, fallback_code));
         I Exit;
       ]
   | Ebpf.If (cmp, a, b, then_, else_) ->
@@ -356,145 +370,66 @@ let compile (prog : Ebpf.prog) =
   | exception Compile_error msg -> Error ("ebpf_vm compile: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
-(* Verifier                                                             *)
-
-type verified = { code : program }
+(* Certificates                                                         *)
 
 let max_insns = 4096
 
-let reads_of = function
-  | Mov_imm _ | Ld_flow_hash _ | Ld_dst_port _ | Ld_stack _ -> []
-  | St_stack (_, r) -> [ r ]
-  | Mov_reg (_, s) -> [ s ]
-  | Alu_imm (_, d, _) -> [ d ]
-  | Alu_reg (_, d, s) -> [ d; s ]
-  | Jmp_imm (_, r, _, _) -> [ r ]
-  | Jmp_reg (_, a, b, _) -> [ a; b ]
-  | Ja _ -> []
-  | Call (Map_lookup _) | Call (Sk_select _) -> [ R1 ]
-  | Call Reciprocal_scale -> [ R1; R2 ]
-  | Exit -> [ R0 ]
+(* A [verified] program carries the fault-site certificate produced by
+   {!Verifier}: [proved.(pc)] means the dynamic safety checks of insn
+   [pc] (shift range, mod-by-zero, map/sockarray index) were discharged
+   statically, so [run] may skip them. *)
+type verified = {
+  code : program;
+  proved : bool array;
+  no_cert : bool array; (* all-false mask, for [run_checked] *)
+  all_proved : bool;
+}
 
-let defs_of = function
-  | Mov_imm (d, _) | Mov_reg (d, _) | Ld_flow_hash d | Ld_dst_port d
-  | Ld_stack (d, _) -> [ d ]
-  | Alu_imm (_, d, _) | Alu_reg (_, d, _) -> [ d ]
-  | Call _ -> [ R0 ] (* r1-r5 are clobbered separately *)
-  | St_stack _ | Jmp_imm _ | Jmp_reg _ | Ja _ | Exit -> []
-
-let bit r = 1 lsl int_of_reg r
-
-let slot_bit slot = 1 lsl (10 + slot)
-
-let verify code =
-  let len = Array.length code in
-  if len = 0 then Error "verifier: empty program"
-  else if len > max_insns then
-    Error (Printf.sprintf "verifier: %d insns exceeds budget %d" len max_insns)
-  else begin
-    (* states.(i) = set of registers guaranteed initialized on entry to
-       insn i (None = unreachable); single forward pass suffices since
-       all jumps go forward. *)
-    let states = Array.make (len + 1) None in
-    states.(0) <- Some 0;
-    let error = ref None in
-    let fail msg = if !error = None then error := Some msg in
-    let meet target state =
-      if target > len then fail "verifier: jump out of range"
-      else
-        states.(target) <-
-          (match states.(target) with
-          | None -> Some state
-          | Some s -> Some (s land state))
-    in
-    for i = 0 to len - 1 do
-      match states.(i) with
-      | None -> () (* unreachable code is allowed, as in the kernel *)
-      | Some state -> (
-        let insn = code.(i) in
-        List.iter
-          (fun r ->
-            if state land bit r = 0 then
-              fail
-                (Printf.sprintf "verifier: insn %d reads uninitialized %s" i
-                   (reg_name r)))
-          (reads_of insn);
-        (match insn with
-        | St_stack (slot, _) | Ld_stack (_, slot) ->
-          if slot < 0 || slot >= 52 then
-            fail (Printf.sprintf "verifier: insn %d: stack slot %d out of range" i slot)
-        | _ -> ());
-        (match insn with
-        | Ld_stack (_, slot) when slot >= 0 && slot < 52 ->
-          if state land slot_bit slot = 0 then
-            fail
-              (Printf.sprintf "verifier: insn %d reads uninitialized stack[%d]" i
-                 slot)
-        | _ -> ());
-        let state' =
-          let s =
-            List.fold_left (fun acc r -> acc lor bit r) state (defs_of insn)
-          in
-          let s =
-            match insn with
-            | St_stack (slot, _) when slot >= 0 && slot < 52 ->
-              s lor slot_bit slot
-            | _ -> s
-          in
-          match insn with
-          | Call _ ->
-            (* caller-saved argument registers die across the call *)
-            s
-            land lnot (bit R1 lor bit R2 lor bit R3 lor bit R4 lor bit R5)
-            lor bit R0
-          | _ -> s
-        in
-        match insn with
-        | Exit -> ()
-        | Ja off ->
-          if off < 0 then fail "verifier: backward jump"
-          else meet (i + 1 + off) state'
-        | Jmp_imm (_, _, _, off) | Jmp_reg (_, _, _, off) ->
-          if off < 0 then fail "verifier: backward jump"
-          else begin
-            meet (i + 1 + off) state';
-            meet (i + 1) state'
-          end
-        | _ ->
-          if i + 1 >= len then fail "verifier: program falls off the end"
-          else meet (i + 1) state')
-    done;
-    (* a reachable fallthrough past the last insn *)
-    (match states.(len) with
-    | Some _ -> fail "verifier: program falls off the end"
-    | None -> ());
-    match !error with None -> Ok { code } | Some msg -> Error msg
-  end
-
-let verify_exn code =
-  match verify code with
-  | Ok v -> v
-  | Error msg -> invalid_arg ("Ebpf_vm.verify_exn: " ^ msg)
+let certify code ~proved =
+  if Array.length proved <> Array.length code then
+    invalid_arg "Ebpf_vm.certify: certificate length mismatch";
+  {
+    code = Array.copy code;
+    proved = Array.copy proved;
+    no_cert = Array.make (Array.length code) false;
+    all_proved = Array.for_all Fun.id proved;
+  }
 
 let insn_count v = Array.length v.code
+let program_of v = Array.copy v.code
+let fully_proved v = v.all_proved
 
-let compile_and_verify prog =
-  match compile prog with Ok code -> verify code | Error _ as e -> (
-    match e with Error msg -> Error msg | Ok _ -> assert false)
+let residual_checks v =
+  Array.fold_left (fun acc ok -> if ok then acc else acc + 1) 0 v.proved
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                          *)
 
 exception Fault
 
-let run v (ctx : Ebpf.ctx) =
+let test op a b =
+  match op with
+  | Jeq -> Int64.equal a b
+  | Jne -> not (Int64.equal a b)
+  | Jlt -> Int64.compare a b < 0
+  | Jle -> Int64.compare a b <= 0
+  | Jgt -> Int64.compare a b > 0
+  | Jge -> Int64.compare a b >= 0
+
+(* Certificate-directed interpreter: [safe.(pc)] skips the dynamic
+   checks at [pc].  If a certificate were ever unsound, the skipped
+   check's failure would surface as an escaping exception
+   (Division_by_zero / Invalid_argument) rather than a silent
+   fall-back — deliberately loud. *)
+let exec_checked code (safe : bool array) (ctx : Ebpf.ctx) =
+  let len = Array.length code in
   let regs = Array.make 10 0L in
   let stack = Array.make max_stack_slots 0L in
   let selected = ref None in
   let cycles = ref 0 in
   let get r = regs.(int_of_reg r) in
   let set r x = regs.(int_of_reg r) <- x in
-  let alu op a b =
+  let alu pc op a b =
     match op with
     | Add -> Int64.add a b
     | Sub -> Int64.sub a b
@@ -504,27 +439,117 @@ let run v (ctx : Ebpf.ctx) =
     | Xor -> Int64.logxor a b
     | Lsh ->
       let s = Int64.to_int b in
-      if s < 0 || s > 63 then raise Fault;
+      if (not safe.(pc)) && (s < 0 || s > 63) then raise Fault;
       Int64.shift_left a s
     | Rsh ->
       let s = Int64.to_int b in
-      if s < 0 || s > 63 then raise Fault;
+      if (not safe.(pc)) && (s < 0 || s > 63) then raise Fault;
       Int64.shift_right_logical a s
-    | Mod -> if Int64.equal b 0L then raise Fault else Int64.rem a b
-  in
-  let test op a b =
-    match op with
-    | Jeq -> Int64.equal a b
-    | Jne -> not (Int64.equal a b)
-    | Jlt -> Int64.compare a b < 0
-    | Jle -> Int64.compare a b <= 0
-    | Jgt -> Int64.compare a b > 0
-    | Jge -> Int64.compare a b >= 0
+    | Mod ->
+      if (not safe.(pc)) && Int64.equal b 0L then raise Fault;
+      Int64.rem a b
   in
   let rec step pc =
-    if pc >= Array.length v.code then raise Fault;
+    if pc >= len then raise Fault;
     incr cycles;
-    match v.code.(pc) with
+    match code.(pc) with
+    | Mov_imm (d, x) ->
+      set d x;
+      step (pc + 1)
+    | Mov_reg (d, s) ->
+      set d (get s);
+      step (pc + 1)
+    | Alu_imm (op, d, x) ->
+      set d (alu pc op (get d) x);
+      step (pc + 1)
+    | Alu_reg (op, d, s) ->
+      set d (alu pc op (get d) (get s));
+      step (pc + 1)
+    | Jmp_imm (op, r, x, off) ->
+      if test op (get r) x then step (pc + 1 + off) else step (pc + 1)
+    | Jmp_reg (op, a, b, off) ->
+      if test op (get a) (get b) then step (pc + 1 + off) else step (pc + 1)
+    | Ja off -> step (pc + 1 + off)
+    | Ld_flow_hash d ->
+      set d (Int64.of_int ctx.Ebpf.flow_hash);
+      step (pc + 1)
+    | Ld_dst_port d ->
+      set d (Int64.of_int ctx.Ebpf.dst_port);
+      step (pc + 1)
+    | St_stack (slot, r) ->
+      stack.(slot) <- get r;
+      step (pc + 1)
+    | Ld_stack (r, slot) ->
+      set r stack.(slot);
+      step (pc + 1)
+    | Call h ->
+      cycles := !cycles + 4;
+      (match h with
+      | Map_lookup map ->
+        let k = Int64.to_int (get R1) in
+        if (not safe.(pc)) && (k < 0 || k >= Ebpf_maps.Array_map.size map)
+        then raise Fault;
+        set R0 (Ebpf_maps.Array_map.unsafe_lookup map k)
+      | Sk_select sockarray -> (
+        let i = Int64.to_int (get R1) in
+        if
+          (not safe.(pc))
+          && (i < 0 || i >= Ebpf_maps.Sockarray.size sockarray)
+        then raise Fault;
+        match Ebpf_maps.Sockarray.unsafe_get sockarray i with
+        | None -> raise Fault
+        | Some sock ->
+          selected := Some sock;
+          set R0 0L)
+      | Reciprocal_scale ->
+        let h = Int64.to_int (get R1) and n = Int64.to_int (get R2) in
+        if n <= 0 then raise Fault;
+        set R0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n)));
+      step (pc + 1)
+    | Exit ->
+      if Int64.equal (get R0) pass_code then
+        match !selected with
+        | Some sock -> Ebpf.Selected sock
+        | None -> raise Fault
+      else if Int64.equal (get R0) drop_code then Ebpf.Dropped
+      else Ebpf.Fell_back
+  in
+  let outcome =
+    match step 0 with outcome -> outcome | exception Fault -> Ebpf.Fell_back
+  in
+  (outcome, !cycles)
+
+(* Unchecked fast path for fully-certified programs: no per-site
+   branches at all, and no OCaml array bounds checks either — the
+   verifier's structural pass bounds every stack slot and jump target,
+   registers are 0..9 by construction, so the certificate licenses
+   [unsafe_get]/[unsafe_set] throughout.  Only the inherently dynamic
+   checks remain (empty sockarray slot, reciprocal_scale of a
+   non-positive n, and the cannot-happen-on-verified-code pc guard). *)
+let exec_fast code (ctx : Ebpf.ctx) =
+  let len = Array.length code in
+  let regs = Array.make 10 0L in
+  let stack = Array.make max_stack_slots 0L in
+  let selected = ref None in
+  let cycles = ref 0 in
+  let get r = Array.unsafe_get regs (int_of_reg r) in
+  let set r x = Array.unsafe_set regs (int_of_reg r) x in
+  let alu op a b =
+    match op with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Lsh -> Int64.shift_left a (Int64.to_int b)
+    | Rsh -> Int64.shift_right_logical a (Int64.to_int b)
+    | Mod -> Int64.rem a b
+  in
+  let rec step pc =
+    if pc >= len then raise Fault;
+    incr cycles;
+    match Array.unsafe_get code pc with
     | Mov_imm (d, x) ->
       set d x;
       step (pc + 1)
@@ -549,22 +574,20 @@ let run v (ctx : Ebpf.ctx) =
       set d (Int64.of_int ctx.Ebpf.dst_port);
       step (pc + 1)
     | St_stack (slot, r) ->
-      stack.(slot) <- get r;
+      Array.unsafe_set stack slot (get r);
       step (pc + 1)
     | Ld_stack (r, slot) ->
-      set r stack.(slot);
+      set r (Array.unsafe_get stack slot);
       step (pc + 1)
     | Call h ->
       cycles := !cycles + 4;
       (match h with
       | Map_lookup map ->
-        let k = Int64.to_int (get R1) in
-        if k < 0 || k >= Ebpf_maps.Array_map.size map then raise Fault;
-        set R0 (Ebpf_maps.Array_map.lookup map k)
+        set R0 (Ebpf_maps.Array_map.unsafe_lookup map (Int64.to_int (get R1)))
       | Sk_select sockarray -> (
-        let i = Int64.to_int (get R1) in
-        if i < 0 || i >= Ebpf_maps.Sockarray.size sockarray then raise Fault;
-        match Ebpf_maps.Sockarray.get sockarray i with
+        match
+          Ebpf_maps.Sockarray.unsafe_get sockarray (Int64.to_int (get R1))
+        with
         | None -> raise Fault
         | Some sock ->
           selected := Some sock;
@@ -583,10 +606,11 @@ let run v (ctx : Ebpf.ctx) =
       else Ebpf.Fell_back
   in
   let outcome =
-    match step 0 with
-    | outcome -> outcome
-    | exception Fault -> Ebpf.Fell_back
+    match step 0 with outcome -> outcome | exception Fault -> Ebpf.Fell_back
   in
+  (outcome, !cycles)
+
+let emit_run (ctx : Ebpf.ctx) outcome cycles =
   if Trace.enabled () then
     Trace.emit
       (Trace.Prog_run
@@ -594,6 +618,18 @@ let run v (ctx : Ebpf.ctx) =
            prog = "bytecode";
            flow_hash = ctx.Ebpf.flow_hash;
            outcome = Ebpf.outcome_name outcome;
-           cycles = !cycles;
-         });
-  (outcome, !cycles)
+           cycles;
+         })
+
+let run v ctx =
+  let outcome, cycles =
+    if v.all_proved then exec_fast v.code ctx
+    else exec_checked v.code v.proved ctx
+  in
+  emit_run ctx outcome cycles;
+  (outcome, cycles)
+
+let run_checked v ctx =
+  let outcome, cycles = exec_checked v.code v.no_cert ctx in
+  emit_run ctx outcome cycles;
+  (outcome, cycles)

@@ -1,27 +1,36 @@
-(** Register-level eBPF: bytecode, verifier, and interpreter.
+(** Register-level eBPF: bytecode, certificates, and interpreter.
 
     {!Ebpf} gives Hermes a convenient expression language; this module
     grounds it.  [compile] lowers an expression program to a
     register-based instruction sequence in the image of the real ISA —
-    64-bit ALU ops, forward conditional jumps, helper calls, a ctx
-    load — with the bit-twiddling expanded {e inline}: [Popcount]
-    becomes the ~15-instruction SWAR Hamming weight and
-    [Find_nth_set] an unrolled six-level binary search over prefix
-    popcounts, exactly how such logic ships inside real
-    [SO_ATTACH_REUSEPORT_EBPF] programs (no loops, no helpers beyond
-    the kernel's own).
+    64-bit ALU ops, conditional jumps, helper calls, a ctx load — with
+    the bit-twiddling expanded {e inline}: [Popcount] becomes the
+    ~15-instruction SWAR Hamming weight and [Find_nth_set] an unrolled
+    six-level binary search over prefix popcounts, exactly how such
+    logic ships inside real [SO_ATTACH_REUSEPORT_EBPF] programs (no
+    loops, no helpers beyond the kernel's own).  Computed [Select]
+    indices are bounds-guarded by explicit compare-and-branch
+    sequences, the idiom the in-kernel verifier demands before it
+    admits an array access.
 
-    [verify] then enforces the real verifier's structural rules on the
-    bytecode: bounded length, strictly forward jumps (hence
-    termination), jump targets in range, no read of an uninitialized
-    register along {e any} path, and [r0] set before [exit].
-    [run] interprets verified bytecode with an executed-instruction
-    cycle count.
+    Static checking lives in {!Verifier}, a path-sensitive abstract
+    interpreter.  Its verdict is a {!verified} program carrying a
+    fault-site {e certificate}: per instruction, whether the dynamic
+    safety checks (shift range, mod-by-zero, map/sockarray index) were
+    proved unnecessary.  [run] skips every check the certificate
+    discharges — fully-certified programs take an unchecked fast path —
+    while [run_checked] keeps them all, as a differential baseline.
 
-    The differential property test in the suite checks that compiled
-    programs agree with the {!Ebpf} evaluator on random inputs. *)
+    The differential property tests in the suite check that compiled
+    programs agree with the {!Ebpf} evaluator, and both interpreters
+    with each other, on random inputs. *)
 
 type reg = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+
+val reg_of_int : int -> reg
+(** @raise Invalid_argument outside 0..9 *)
+
+val int_of_reg : reg -> int
 
 type alu = Add | Sub | Mul | And | Or | Xor | Lsh | Rsh | Mod
 
@@ -41,9 +50,10 @@ type insn =
   | Alu_imm of alu * reg * int64
   | Alu_reg of alu * reg * reg  (** dst := dst op src *)
   | Jmp_imm of jmp * reg * int64 * int
-      (** if (reg cmp imm) skip the next [off] instructions; [off] > 0 *)
+      (** if (reg cmp imm) skip the next [off] instructions; [off] may
+          be negative — the verifier admits bounded backward jumps *)
   | Jmp_reg of jmp * reg * reg * int
-  | Ja of int  (** unconditional forward skip *)
+  | Ja of int  (** unconditional skip *)
   | Ld_flow_hash of reg
   | Ld_dst_port of reg
   | St_stack of int * reg
@@ -60,28 +70,51 @@ val drop_code : int64
 
 type program = insn array
 
+val max_insns : int
+(** Upper bound on program length (kernel-style). *)
+
+val max_stack_slots : int
+(** Stack slots available to a program (64, i.e. the real 512-byte
+    BPF stack in 8-byte words). *)
+
 val pp_insn : Format.formatter -> insn -> unit
 val disassemble : program -> string
 
 val compile : Ebpf.prog -> (program, string) result
 (** Lower an expression program.  Fails only when the expression needs
-    more scratch registers than r2..r9 provide. *)
+    more scratch registers or stack slots than the ISA provides. *)
 
 type verified
+(** A program plus the fault-site certificate {!Verifier} produced for
+    it. *)
 
-val verify : program -> (verified, string) result
-(** Structural rules: non-empty, bounded length, forward-only in-range
-    jumps, no read of an uninitialized register or stack slot on any
-    path, argument registers dead after calls, no fallthrough past the
-    end. *)
+val certify : program -> proved:bool array -> verified
+(** Package a program with its certificate; [proved.(pc)] asserts the
+    dynamic safety checks of instruction [pc] can never fire.  This is
+    {!Verifier}'s constructor — calling it with an unsound certificate
+    makes [run] skip a needed check, turning what would have been a
+    quiet fall-back into an escaping [Division_by_zero] /
+    [Invalid_argument]. *)
 
-val verify_exn : program -> verified
 val insn_count : verified -> int
 
-val run : verified -> Ebpf.ctx -> Ebpf.outcome * int
-(** Execute; the count is instructions executed (helpers cost extra).
-    Runtime faults (bad map key, empty socket slot, mod by zero,
-    oversized shift) make the program fall back, as the kernel ignores
-    a failing program. *)
+val program_of : verified -> program
+(** A copy of the underlying bytecode. *)
 
-val compile_and_verify : Ebpf.prog -> (verified, string) result
+val fully_proved : verified -> bool
+(** Every potentially-faulting site was discharged; [run] uses the
+    fully unchecked fast path. *)
+
+val residual_checks : verified -> int
+(** Number of instructions whose dynamic checks remain armed. *)
+
+val run : verified -> Ebpf.ctx -> Ebpf.outcome * int
+(** Execute, skipping every dynamic check the certificate discharged;
+    the count is instructions executed (helpers cost extra).  Residual
+    runtime faults (empty socket slot, undischarged check firing) make
+    the program fall back, as the kernel ignores a failing program. *)
+
+val run_checked : verified -> Ebpf.ctx -> Ebpf.outcome * int
+(** Execute with {e every} dynamic check armed, ignoring the
+    certificate — the pre-certificate baseline, kept for benchmarking
+    and differential testing against [run]. *)

@@ -53,6 +53,17 @@ let live_count t =
 
 let attach_ebpf t prog = t.prog <- Some (Ast prog)
 let attach_vm t prog = t.prog <- Some (Vm prog)
+
+(* SO_ATTACH_REUSEPORT_EBPF proper: raw bytecode goes through the
+   abstract-interpretation verifier at attach time, and only a
+   certified program is installed. *)
+let attach t ~name code =
+  match Verifier.verify ~name code with
+  | Ok (vm, _report) ->
+    t.prog <- Some (Vm vm);
+    Ok ()
+  | Error e -> Error e
+
 let detach_ebpf t = t.prog <- None
 
 (* Default kernel behaviour: index the live members (bind order) by

@@ -39,6 +39,12 @@ val attach_vm : t -> Ebpf_vm.verified -> unit
 (** Attach compiled bytecode instead — same semantics, executed by the
     register VM of {!Ebpf_vm}. *)
 
+val attach : t -> name:string -> Ebpf_vm.program -> (unit, Verifier.error) result
+(** [SO_ATTACH_REUSEPORT_EBPF] proper: run raw bytecode through
+    {!Verifier.verify} (emitting the attach-time
+    {!Trace.Verifier_verdict}) and install the certified program; on
+    rejection nothing is attached. *)
+
 val detach_ebpf : t -> unit
 
 val select : t -> flow_hash:int -> Socket.t option

@@ -250,9 +250,16 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
         | Some rt ->
           let prog = Hermes.Runtime.make_prog rt ~m_socket:sockarray in
           if (Hermes.Runtime.config rt).Hermes.Config.kernel_bytecode then
-            match Kernel.Ebpf_vm.compile_and_verify prog with
-            | Ok vm -> Kernel.Reuseport.attach_vm group vm
+            match Kernel.Ebpf_vm.compile prog with
             | Error msg -> invalid_arg ("Device.create: " ^ msg)
+            | Ok code -> (
+              match
+                Kernel.Reuseport.attach group ~name:prog.Kernel.Ebpf.name code
+              with
+              | Ok () -> ()
+              | Error e ->
+                invalid_arg
+                  ("Device.create: " ^ Kernel.Verifier.error_to_string e))
           else Kernel.Reuseport.attach_ebpf group (Kernel.Ebpf.verify_exn prog)
         | None -> ());
         Hashtbl.replace t.ports port (Dedicated { group; sockarray })

@@ -15,6 +15,16 @@ type event =
   | Accept of { worker : int; conn : int }
   | Close of { worker : int; conn : int; reset : bool }
   | Wst_write of { worker : int; column : column; value : int }
+  | Verifier_verdict of {
+      prog : string;
+      backend : string;
+      accepted : bool;
+      insns : int;
+      visited : int;
+      proved : int;
+      residual : int;
+      reason : string;
+    }
 
 type record = { seq : int; time : int; event : event }
 
@@ -139,6 +149,12 @@ let render_event = function
     Printf.sprintf "worker.close worker=%d conn=%d reset=%b" worker conn reset
   | Wst_write { worker; column; value } ->
     Printf.sprintf "wst.write worker=%d col=%s value=%d" worker (column_name column) value
+  | Verifier_verdict { prog; backend; accepted; insns; visited; proved; residual; reason } ->
+    Printf.sprintf
+      "verifier.verdict prog=%s backend=%s accepted=%b insns=%d visited=%d \
+       proved=%d residual=%d reason=%s"
+      prog backend accepted insns visited proved residual
+      (if reason = "" then "-" else reason)
 
 let render r = Printf.sprintf "%10d %s" r.time (render_event r.event)
 
@@ -182,6 +198,11 @@ let json_fields = function
   | Wst_write { worker; column; value } ->
     Printf.sprintf "\"worker\":%d,\"col\":%s,\"value\":%d" worker
       (json_string (column_name column)) value
+  | Verifier_verdict { prog; backend; accepted; insns; visited; proved; residual; reason } ->
+    Printf.sprintf
+      "\"prog\":%s,\"backend\":%s,\"accepted\":%b,\"insns\":%d,\"visited\":%d,\"proved\":%d,\"residual\":%d,\"reason\":%s"
+      (json_string prog) (json_string backend) accepted insns visited proved
+      residual (json_string reason)
 
 let event_name = function
   | Wq_wake _ -> "wq.wake"
@@ -195,6 +216,7 @@ let event_name = function
   | Accept _ -> "worker.accept"
   | Close _ -> "worker.close"
   | Wst_write _ -> "wst.write"
+  | Verifier_verdict _ -> "verifier.verdict"
 
 let json_of_record r =
   Printf.sprintf "{\"seq\":%d,\"t\":%d,\"ev\":%s,%s}" r.seq r.time

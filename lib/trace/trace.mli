@@ -55,6 +55,22 @@ type event =
   | Wst_write of { worker : int; column : column; value : int }
       (** A worker's WST column update; [worker] is the within-group
           index, [value] the cell's new contents. *)
+  | Verifier_verdict of {
+      prog : string;
+      backend : string;
+      accepted : bool;
+      insns : int;
+      visited : int;
+      proved : int;
+      residual : int;
+      reason : string;
+    }
+      (** Load-time verifier decision for a selection program.
+          [backend] is ["ast"] (structural {!Ebpf.verify}) or
+          ["bytecode"] (abstract-interpretation [Verifier.verify]);
+          [visited] counts abstract instruction visits, [proved] the
+          fault sites discharged statically and [residual] those left
+          as runtime checks.  [reason] is empty on acceptance. *)
 
 type record = { seq : int; time : int; event : event }
 (** [time] is virtual nanoseconds ({!set_now}); [seq] a process-wide

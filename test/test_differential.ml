@@ -76,9 +76,10 @@ let agree ~bitmap ~flow_hash ~min_selected =
   let ctx = { Kernel.Ebpf.flow_hash; dst_port = 80 } in
   let ast_outcome = fst (Kernel.Ebpf.run (Kernel.Ebpf.verify_exn prog) ctx) in
   let vm =
-    match Kernel.Ebpf_vm.compile_and_verify prog with
+    match Kernel.Verifier.compile_and_verify prog with
     | Ok vm -> vm
-    | Error msg -> Alcotest.failf "vm compile: %s" msg
+    | Error e ->
+      Alcotest.failf "vm compile: %s" (Kernel.Verifier.error_to_string e)
   in
   let vm_outcome = fst (Kernel.Ebpf_vm.run vm ctx) in
   let expected = naive_pick ~bitmap ~flow_hash ~min_selected in

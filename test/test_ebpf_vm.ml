@@ -12,9 +12,9 @@ let compile_exn prog =
   | Error e -> Alcotest.fail e
 
 let run_prog prog ctx =
-  match Kernel.Ebpf_vm.compile_and_verify prog with
+  match Kernel.Verifier.compile_and_verify prog with
   | Ok v -> fst (Kernel.Ebpf_vm.run v ctx)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Basic programs                                                       *)
@@ -61,9 +61,9 @@ let test_vm_dispatch_program () =
   in
   let prog = Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2 in
   let v =
-    match Kernel.Ebpf_vm.compile_and_verify prog with
+    match Kernel.Verifier.compile_and_verify prog with
     | Ok v -> v
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   in
   check Alcotest.bool "nontrivial program" true
     (Kernel.Ebpf_vm.insn_count v > 100);
@@ -96,12 +96,12 @@ let test_vm_two_level_program_compiles () =
       (Kernel.Socket.create_listen ~port:80 ~backlog:1)
   done;
   let prog = Hermes.Groups.make_prog g ~m_socket ~min_selected:2 in
-  match Kernel.Ebpf_vm.compile_and_verify prog with
+  match Kernel.Verifier.compile_and_verify prog with
   | Ok v -> (
     match fst (Kernel.Ebpf_vm.run v ctx) with
     | Kernel.Ebpf.Selected _ -> ()
     | _ -> Alcotest.fail "two-level should select")
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
 
 let test_vm_disassemble () =
   let code =
@@ -122,35 +122,38 @@ let test_vm_disassemble () =
 (* Verifier                                                             *)
 
 let test_verifier_rejects_empty () =
-  match Kernel.Ebpf_vm.verify [||] with
-  | Error _ -> ()
+  match Kernel.Verifier.verify [||] with
+  | Error Kernel.Verifier.Empty_program -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "empty accepted"
 
 let test_verifier_rejects_uninitialized () =
   let open Kernel.Ebpf_vm in
   (* r3 read before any write *)
-  match verify [| Mov_reg (R0, R3); Exit |] with
-  | Error e ->
-    check Alcotest.bool "mentions register" true
-      (String.length e > 0)
+  match Kernel.Verifier.verify [| Mov_reg (R0, R3); Exit |] with
+  | Error (Kernel.Verifier.Uninit_register { pc = 0; reg = R3 }) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "uninitialized read accepted"
 
 let test_verifier_rejects_fallthrough () =
   let open Kernel.Ebpf_vm in
-  match verify [| Mov_imm (R0, 0L) |] with
-  | Error _ -> ()
+  match Kernel.Verifier.verify [| Mov_imm (R0, 0L) |] with
+  | Error (Kernel.Verifier.Falls_off_end _) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "fall-off-the-end accepted"
 
 let test_verifier_rejects_oob_jump () =
   let open Kernel.Ebpf_vm in
-  match verify [| Ja 5; Mov_imm (R0, 0L); Exit |] with
-  | Error _ -> ()
+  match Kernel.Verifier.verify [| Ja 5; Mov_imm (R0, 0L); Exit |] with
+  | Error (Kernel.Verifier.Jump_out_of_range _) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "out-of-range jump accepted"
 
 let test_verifier_rejects_r0_unset_exit () =
   let open Kernel.Ebpf_vm in
-  match verify [| Exit |] with
-  | Error _ -> ()
+  match Kernel.Verifier.verify [| Exit |] with
+  | Error (Kernel.Verifier.Uninit_register { reg = R0; _ }) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "exit without r0 accepted"
 
 let test_verifier_call_clobbers_args () =
@@ -158,7 +161,7 @@ let test_verifier_call_clobbers_args () =
   let m = Kernel.Ebpf_maps.Array_map.create ~name:"m" ~size:1 in
   (* r1 is dead after the call; reading it must be rejected *)
   match
-    verify
+    Kernel.Verifier.verify
       [|
         Mov_imm (R1, 0L);
         Call (Map_lookup m);
@@ -166,14 +169,15 @@ let test_verifier_call_clobbers_args () =
         Exit;
       |]
   with
-  | Error _ -> ()
+  | Error (Kernel.Verifier.Uninit_register { reg = R1; _ }) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "clobbered register read accepted"
 
 let test_verifier_join_intersection () =
   let open Kernel.Ebpf_vm in
   (* r2 initialized on only one path into the join: must be rejected *)
   match
-    verify
+    Kernel.Verifier.verify
       [|
         Mov_imm (R0, 0L);
         Jmp_imm (Jeq, R0, 0L, 1);
@@ -183,13 +187,14 @@ let test_verifier_join_intersection () =
         Exit;
       |]
   with
-  | Error _ -> ()
+  | Error (Kernel.Verifier.Uninit_register { reg = R2; _ }) -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
   | Ok _ -> Alcotest.fail "one-sided init accepted"
 
 let test_verifier_accepts_branchy () =
   let open Kernel.Ebpf_vm in
   match
-    verify
+    Kernel.Verifier.verify
       [|
         Mov_imm (R2, 5L);
         Jmp_imm (Jgt, R2, 3L, 2);
@@ -199,8 +204,8 @@ let test_verifier_accepts_branchy () =
         Exit;
       |]
   with
-  | Ok v -> check Alcotest.int "six insns" 6 (Kernel.Ebpf_vm.insn_count v)
-  | Error e -> Alcotest.fail e
+  | Ok (v, _) -> check Alcotest.int "six insns" 6 (Kernel.Ebpf_vm.insn_count v)
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Differential test against the expression interpreter                 *)
@@ -291,7 +296,7 @@ let prop_vm_matches_ast =
           (Int64.of_int ((hash_seed * (k + 3)) land 0xFFFF))
       done;
       let ctx = { Kernel.Ebpf.flow_hash = hash_seed * 2654435761; dst_port = port } in
-      match (Kernel.Ebpf.verify prog, Kernel.Ebpf_vm.compile_and_verify prog) with
+      match (Kernel.Ebpf.verify prog, Kernel.Verifier.compile_and_verify prog) with
       | Ok ast, Ok vm ->
         let ast_out = fst (Kernel.Ebpf.run ast ctx) in
         let vm_out = fst (Kernel.Ebpf_vm.run vm ctx) in
