@@ -9,11 +9,18 @@
       snapshots, a full Algo 1 scheduling pass, the Algo 2 program
       under the interpreter, and the supporting codecs.
 
+   Three parts — the third is the scheduler regression harness of
+   Sched_bench: timing-wheel vs binary-heap scenarios, JSON emission
+   and the speedup-ratio gate.
+
    Usage:
      dune exec bench/main.exe                 # everything, full size
      dune exec bench/main.exe -- --quick      # shrunken runs
      dune exec bench/main.exe -- table3 fig13 # selected experiments
-     dune exec bench/main.exe -- --micro-only *)
+     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --sched-only --json        # write BENCH_PR3.json
+     dune exec bench/main.exe -- --sched-only --quick \
+       --json=BENCH_CI.json --check=BENCH_PR3.json          # CI gate *)
 
 open Bechamel
 open Toolkit
@@ -157,13 +164,31 @@ let run_micro () =
     micro_tests;
   Stats.Table.print table
 
+(* [--json] / [--check] take an optional [=FILE]; the bare form uses
+   the committed baseline file. *)
+let opt_file ~flag ~default args =
+  let prefix = flag ^ "=" in
+  List.fold_left
+    (fun acc a ->
+      if a = flag then Some default
+      else if
+        String.length a > String.length prefix
+        && String.sub a 0 (String.length prefix) = prefix
+      then Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+      else acc)
+    None args
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let no_micro = List.mem "--no-micro" args in
+  let sched_only = List.mem "--sched-only" args in
+  let no_sched = List.mem "--no-sched" args in
+  let json_file = opt_file ~flag:"--json" ~default:"BENCH_PR3.json" args in
+  let check_file = opt_file ~flag:"--check" ~default:"BENCH_PR3.json" args in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
-  if not micro_only then begin
+  if (not micro_only) && not sched_only then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
     | ids ->
@@ -176,4 +201,14 @@ let () =
             exit 1)
         ids
   end;
-  if not no_micro then run_micro ()
+  if (not no_sched) && not micro_only then begin
+    let results = Sched_bench.run_all ~quick () in
+    Sched_bench.print_table results;
+    (match json_file with
+    | Some file -> Sched_bench.write_json ~file results
+    | None -> ());
+    match check_file with
+    | Some baseline -> if not (Sched_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if (not no_micro) && not sched_only then run_micro ()

@@ -1,119 +1,60 @@
-type event = {
-  time : Sim_time.t;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+(* Discrete-event simulation driver, backed by the hierarchical
+   timing wheel in [Wheel].  The wheel owns ordering, cancellation and
+   storage; this layer owns the virtual clock, the trace timestamp,
+   the stop flag and the fired-event counter.
 
-type handle = event
+   The wheel reproduces the retired binary heap's exact (time, seq)
+   firing order — the golden-trace conformance harness depends on it,
+   and test/test_engine.ml proves it differentially against
+   [Ref_heap] — while making [cancel] O(1) (the action closure is
+   dropped immediately, where the heap leaked it until drain) and
+   [pending_count] O(1) (a live counter, where the heap scanned every
+   slot including tombstones). *)
 
-(* Array-based binary min-heap ordered by (time, seq). *)
+type handle = Wheel.entry
+
 type t = {
-  mutable heap : event array;
-  mutable size : int;
+  wheel : Wheel.t;
   mutable clock : Sim_time.t;
   mutable seq : int;
   mutable stopping : bool;
   mutable fired : int;
 }
 
-let dummy =
-  { time = 0; seq = -1; action = (fun () -> ()); cancelled = true }
-
 let create () =
-  { heap = Array.make 256 dummy; size = 0; clock = 0; seq = 0; stopping = false; fired = 0 }
+  { wheel = Wheel.create (); clock = 0; seq = 0; stopping = false; fired = 0 }
 
 let now t = t.clock
-
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
-
-let push t ev =
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- ev;
-  t.size <- t.size + 1;
-  (* Sift up. *)
-  let i = ref (t.size - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    less t.heap.(!i) t.heap.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.heap.(!i) in
-    t.heap.(!i) <- t.heap.(parent);
-    t.heap.(parent) <- tmp;
-    i := parent
-  done
-
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    (* Sift down. *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
-      if !smallest = !i then continue := false
-      else begin
-        let tmp = t.heap.(!i) in
-        t.heap.(!i) <- t.heap.(!smallest);
-        t.heap.(!smallest) <- tmp;
-        i := !smallest
-      end
-    done;
-    Some top
-  end
 
 let schedule t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: at=%d is before now=%d" at t.clock);
-  let ev = { time = at; seq = t.seq; action; cancelled = false } in
-  t.seq <- t.seq + 1;
-  push t ev;
-  ev
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Wheel.add t.wheel ~time:at ~seq action
 
 let schedule_after t ~delay action =
   if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(Sim_time.add t.clock delay) action
 
-let cancel _t ev = ev.cancelled <- true
-let is_pending _t ev = not ev.cancelled
+let cancel t ev = Wheel.cancel t.wheel ev
+let is_pending _t ev = Wheel.is_live ev
+let pending_count t = Wheel.live_count t.wheel
+let occupancy t = Wheel.stored_count t.wheel
 
-let pending_count t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).cancelled then incr n
-  done;
-  !n
+let fire t time action =
+  t.clock <- time;
+  Trace.set_now time;
+  t.fired <- t.fired + 1;
+  action ()
 
 let step t =
-  let rec next () =
-    match pop t with
-    | None -> false
-    | Some ev when ev.cancelled -> next ()
-    | Some ev ->
-      t.clock <- ev.time;
-      Trace.set_now ev.time;
-      ev.cancelled <- true;
-      t.fired <- t.fired + 1;
-      ev.action ();
-      true
-  in
-  next ()
+  match Wheel.next_before t.wheel ~limit:max_int with
+  | None -> false
+  | Some (time, _seq, action) ->
+    fire t time action;
+    true
 
 let run t =
   t.stopping <- false;
@@ -121,15 +62,13 @@ let run t =
     ()
   done
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
-
 let run_until t ~limit =
   t.stopping <- false;
   let continue = ref true in
   while !continue && not t.stopping do
-    match peek_time t with
-    | Some time when time <= limit -> if not (step t) then continue := false
-    | _ -> continue := false
+    match Wheel.next_before t.wheel ~limit with
+    | None -> continue := false
+    | Some (time, _seq, action) -> fire t time action
   done;
   if t.clock < limit then begin
     t.clock <- limit;

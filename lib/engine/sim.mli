@@ -3,7 +3,13 @@
     All subsystems (the TCP model, epoll, workers, workload generators,
     probers) run as callbacks scheduled on one of these simulators.
     Events at equal timestamps fire in scheduling order (a monotone
-    sequence number breaks ties), which makes every run deterministic. *)
+    sequence number breaks ties), which makes every run deterministic.
+
+    The queue behind this interface is the hierarchical timing wheel
+    of {!Wheel}: amortised O(1) schedule and extraction, O(1) {!cancel}
+    that drops the action closure immediately, and O(1)
+    {!pending_count}.  The retired binary-heap engine survives as
+    {!Ref_heap} for differential tests and the scheduler benchmarks. *)
 
 type t
 
@@ -25,13 +31,20 @@ val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> handle
     @raise Invalid_argument if [delay] is negative. *)
 
 val cancel : t -> handle -> unit
-(** Cancel a pending event.  Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+(** Cancel a pending event in O(1), releasing its action closure
+    immediately.  Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
 
 val is_pending : t -> handle -> bool
 
 val pending_count : t -> int
-(** Number of live (not cancelled, not fired) events. *)
+(** Number of live (not cancelled, not fired) events — O(1). *)
+
+val occupancy : t -> int
+(** Physical queue entries held, including cancelled entries whose
+    slot has not been reclaimed yet; compaction keeps this bounded by
+    [2 * pending_count + O(1)].  Exposed for the cancellation-leak
+    regression tests. *)
 
 val step : t -> bool
 (** Fire the earliest pending event.  Returns [false] when the queue is

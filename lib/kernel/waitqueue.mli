@@ -19,7 +19,19 @@
       registration — io_uring's default interrupt-mode wakeup order
       (§8: "similar to epoll, but in FIFO order").  Still a fixed
       order, so load still concentrates, just on the other end of the
-      queue. *)
+      queue.
+
+    Waiters live on an intrusive doubly-linked ring, so [register],
+    [unregister] and the round-robin rotate-to-tail are all O(1).
+
+    {b Snapshot semantics.}  A [wake] traversal visits exactly the
+    waiters registered when it started.  Callbacks may mutate the
+    queue mid-walk: a waiter registered from inside a callback is not
+    visited until the next [wake], and one unregistered mid-walk is
+    skipped if the walk has not reached it yet (and, for round-robin,
+    is not re-queued even if it accepted the wake).  Physical unlinks
+    are deferred until the traversal ends so the walk cursor stays
+    valid. *)
 
 type mode = Lifo_exclusive | Roundrobin_exclusive | Wake_all | Fifo_exclusive
 
@@ -35,13 +47,15 @@ val register : t -> id:int -> try_wake:(unit -> bool) -> unit
     @raise Invalid_argument if [id] is already registered. *)
 
 val unregister : t -> id:int -> unit
-(** Remove a worker (crash or EPOLL_CTL_DEL).  Unknown ids are
-    ignored. *)
+(** Remove a worker (crash or EPOLL_CTL_DEL) in O(1).  Unknown ids are
+    ignored.  Safe to call from inside a [wake] callback: the waiter
+    is skipped for the rest of the traversal. *)
 
 val wake : t -> int
 (** Run one wakeup traversal; returns the number of workers woken
     (0 if all were busy — the event then waits in the accept queue
-    until some worker polls). *)
+    until some worker polls).  Visits only the waiters registered
+    before the call (see snapshot semantics above). *)
 
 val order : t -> int list
 (** Current traversal order (head first) — exposed for tests that pin

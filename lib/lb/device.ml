@@ -322,8 +322,14 @@ let close_conn t conn =
 
 let probe_once t ~tenant ~timeout ~on_result =
   let started = Sim.now t.sim in
+  let tn = t.tenant_arr.(tenant) in
   let finished = ref false in
   let timeout_handle = ref None in
+  (* [finish] is the single completion funnel.  Every path — timeout,
+     reply, reset, synchronous dispatch_failed (which can run before
+     [connect] even returns) — lands here; the [finished] flag plus
+     the timeout cancellation make a race between the timeout event
+     and any other path single-fire in both orders. *)
   let finish result =
     if not !finished then begin
       finished := true;
@@ -334,8 +340,11 @@ let probe_once t ~tenant ~timeout ~on_result =
     end
   in
   timeout_handle :=
-    Some (Sim.schedule_after t.sim ~delay:timeout (fun () -> finish None));
-  let tn = t.tenant_arr.(tenant) in
+    Some
+      (Sim.schedule_after t.sim ~delay:timeout (fun () ->
+           if (not !finished) && Trace.enabled () then
+             Trace.emit (Trace.Probe_timeout { tenant = tn.id; after = timeout });
+           finish None));
   let events =
     {
       established =

@@ -15,6 +15,7 @@ type event =
   | Accept of { worker : int; conn : int }
   | Close of { worker : int; conn : int; reset : bool }
   | Wst_write of { worker : int; column : column; value : int }
+  | Probe_timeout of { tenant : int; after : int }
   | Verifier_verdict of {
       prog : string;
       backend : string;
@@ -149,6 +150,8 @@ let render_event = function
     Printf.sprintf "worker.close worker=%d conn=%d reset=%b" worker conn reset
   | Wst_write { worker; column; value } ->
     Printf.sprintf "wst.write worker=%d col=%s value=%d" worker (column_name column) value
+  | Probe_timeout { tenant; after } ->
+    Printf.sprintf "probe.timeout tenant=%d after=%d" tenant after
   | Verifier_verdict { prog; backend; accepted; insns; visited; proved; residual; reason } ->
     Printf.sprintf
       "verifier.verdict prog=%s backend=%s accepted=%b insns=%d visited=%d \
@@ -198,6 +201,8 @@ let json_fields = function
   | Wst_write { worker; column; value } ->
     Printf.sprintf "\"worker\":%d,\"col\":%s,\"value\":%d" worker
       (json_string (column_name column)) value
+  | Probe_timeout { tenant; after } ->
+    Printf.sprintf "\"tenant\":%d,\"after\":%d" tenant after
   | Verifier_verdict { prog; backend; accepted; insns; visited; proved; residual; reason } ->
     Printf.sprintf
       "\"prog\":%s,\"backend\":%s,\"accepted\":%b,\"insns\":%d,\"visited\":%d,\"proved\":%d,\"residual\":%d,\"reason\":%s"
@@ -216,6 +221,7 @@ let event_name = function
   | Accept _ -> "worker.accept"
   | Close _ -> "worker.close"
   | Wst_write _ -> "wst.write"
+  | Probe_timeout _ -> "probe.timeout"
   | Verifier_verdict _ -> "verifier.verdict"
 
 let json_of_record r =

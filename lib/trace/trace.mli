@@ -55,6 +55,9 @@ type event =
   | Wst_write of { worker : int; column : column; value : int }
       (** A worker's WST column update; [worker] is the within-group
           index, [value] the cell's new contents. *)
+  | Probe_timeout of { tenant : int; after : int }
+      (** A health probe gave up after [after] ns without a reply —
+          distinguishes probe {e loss} from mere delay in traces. *)
   | Verifier_verdict of {
       prog : string;
       backend : string;

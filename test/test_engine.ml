@@ -325,6 +325,181 @@ let test_sim_pending_count () =
   Engine.Sim.cancel sim h1;
   check Alcotest.int "one pending" 1 (Engine.Sim.pending_count sim)
 
+(* ------------------------------------------------------------------ *)
+(* Timing wheel: cancellation-leak fixes and edge cases                 *)
+
+(* The heap leaked the action closure of a cancelled event until its
+   slot drained; the wheel must release it at [cancel] time. *)
+let test_wheel_cancel_releases_closure () =
+  let sim = Engine.Sim.create () in
+  let w = Weak.create 1 in
+  let h =
+    (* Built in a helper so no stack slot keeps [payload] alive. *)
+    let make () =
+      let payload = Bytes.create 4096 in
+      Weak.set w 0 (Some payload);
+      Engine.Sim.schedule sim ~at:1_000 (fun () -> ignore (Bytes.length payload))
+    in
+    make ()
+  in
+  check Alcotest.bool "held while pending" true (Weak.check w 0);
+  Engine.Sim.cancel sim h;
+  Gc.full_major ();
+  check Alcotest.bool "released on cancel" false (Weak.check w 0)
+
+let test_wheel_tie_across_levels () =
+  (* Two events at the same far timestamp, one scheduled at t=0 (it
+     starts several wheel levels up) and one scheduled mid-run (it
+     starts lower): after cascading into the same level-0 slot they
+     must still fire in seq order. *)
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  let t = 1_000_000 in
+  ignore (Engine.Sim.schedule sim ~at:t (fun () -> log := "early" :: !log));
+  ignore
+    (Engine.Sim.schedule sim ~at:500 (fun () ->
+         ignore (Engine.Sim.schedule sim ~at:t (fun () -> log := "late" :: !log))));
+  Engine.Sim.run sim;
+  check Alcotest.(list string) "seq order at equal time" [ "early"; "late" ]
+    (List.rev !log)
+
+let test_wheel_run_until_cancelled_head () =
+  (* A cancelled event heading the queue must not let run_until fire a
+     live event beyond its limit (the old heap had this bug). *)
+  let sim = Engine.Sim.create () in
+  let fired = ref false in
+  let h = Engine.Sim.schedule sim ~at:10 (fun () -> ()) in
+  Engine.Sim.cancel sim h;
+  ignore (Engine.Sim.schedule sim ~at:100 (fun () -> fired := true));
+  Engine.Sim.run_until sim ~limit:55;
+  check Alcotest.bool "no overshoot past limit" false !fired;
+  check Alcotest.int "clock at limit" 55 (Engine.Sim.now sim);
+  check Alcotest.int "still pending" 1 (Engine.Sim.pending_count sim);
+  Engine.Sim.run sim;
+  check Alcotest.bool "fires after" true !fired
+
+let test_wheel_far_future_spill () =
+  (* Beyond the wheel horizon (2^50 ns ≈ 13 days) entries live on the
+     spill list; ordering and cancellation must still hold. *)
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  let far = Engine.Sim_time.hours 400 in
+  let h = Engine.Sim.schedule sim ~at:(far + 5) (fun () -> log := 2 :: !log) in
+  ignore (Engine.Sim.schedule sim ~at:far (fun () -> log := 1 :: !log));
+  ignore (Engine.Sim.schedule sim ~at:(far + 5) (fun () -> log := 3 :: !log));
+  ignore (Engine.Sim.schedule sim ~at:7 (fun () -> log := 0 :: !log));
+  Engine.Sim.cancel sim h;
+  Engine.Sim.run sim;
+  check Alcotest.(list int) "order across the spill" [ 0; 1; 3 ] (List.rev !log);
+  check Alcotest.int "clock at last event" (far + 5) (Engine.Sim.now sim)
+
+let test_wheel_churn_bounded () =
+  (* Cancellation churn must neither distort [pending_count] nor let
+     tombstones accumulate: compaction keeps physical occupancy within
+     a small constant once everything is cancelled. *)
+  let sim = Engine.Sim.create () in
+  let live_fired = ref 0 in
+  for round = 1 to 50 do
+    let handles =
+      Array.init 2000 (fun i ->
+          Engine.Sim.schedule_after sim ~delay:(1000 + i) (fun () -> ()))
+    in
+    ignore (Engine.Sim.schedule_after sim ~delay:10 (fun () -> incr live_fired));
+    Array.iter (fun h -> Engine.Sim.cancel sim h) handles;
+    check Alcotest.int "pending counts only live" 1 (Engine.Sim.pending_count sim);
+    Engine.Sim.run_until sim ~limit:(Engine.Sim.now sim + 20);
+    check Alcotest.int "live event fired" round !live_fired;
+    check Alcotest.int "none left pending" 0 (Engine.Sim.pending_count sim);
+    check Alcotest.bool "occupancy bounded" true (Engine.Sim.occupancy sim <= 128)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the wheel against the retired binary heap             *)
+
+type dop =
+  | DSched of int * int (* at (relative to now), fanout selector *)
+  | DCancel of int (* index into the handles issued so far *)
+  | DUntil of int (* run_until target *)
+
+let dop_print = function
+  | DSched (at, f) -> Printf.sprintf "DSched(%d,%d)" at f
+  | DCancel i -> Printf.sprintf "DCancel %d" i
+  | DUntil l -> Printf.sprintf "DUntil %d" l
+
+(* Interpret a program against either engine, producing a full
+   observation: every firing (time, id, depth), every run_until
+   checkpoint (now, pending_count), plus the final totals. *)
+module Replay (S : sig
+  type t
+  type handle
+
+  val create : unit -> t
+  val now : t -> int
+  val schedule : t -> at:int -> (unit -> unit) -> handle
+  val cancel : t -> handle -> unit
+  val pending_count : t -> int
+  val run_until : t -> limit:int -> unit
+  val events_fired : t -> int
+end) =
+struct
+  let run prog =
+    let sim = S.create () in
+    let log = ref [] in
+    let handles = ref [] in
+    let n_handles = ref 0 in
+    let next_id = ref 0 in
+    List.iter
+      (fun op ->
+        match op with
+        | DSched (at, fanout) ->
+          let at = S.now sim + at in
+          let id = !next_id in
+          incr next_id;
+          (* Fanout: some actions re-schedule at the *same* tick,
+             exercising same-time insertion during extraction. *)
+          let rec action depth () =
+            log := (S.now sim, id, depth) :: !log;
+            if depth > 0 && (id + depth) mod 3 = 0 then
+              ignore (S.schedule sim ~at:(S.now sim) (action (depth - 1)))
+          in
+          let h = S.schedule sim ~at (action (fanout mod 4)) in
+          handles := h :: !handles;
+          incr n_handles
+        | DCancel i ->
+          if !n_handles > 0 then
+            S.cancel sim (List.nth !handles (i mod !n_handles))
+        | DUntil lim ->
+          let lim = max lim (S.now sim) in
+          S.run_until sim ~limit:lim;
+          log := (S.now sim, -1, S.pending_count sim) :: !log)
+      prog;
+    S.run_until sim ~limit:10_000_000;
+    (List.rev !log, S.events_fired sim, S.now sim)
+end
+
+module Wheel_replay = Replay (Engine.Sim)
+module Heap_replay = Replay (Engine.Ref_heap)
+
+let prop_wheel_matches_heap =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 60)
+        (frequency
+           [
+             (5, map2 (fun a f -> DSched (a, f)) (int_bound 2000) (int_bound 7));
+             (2, map (fun i -> DCancel i) (int_bound 100));
+             (2, map (fun l -> DUntil l) (int_bound 3000));
+           ]))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun p -> String.concat "; " (List.map dop_print p))
+  in
+  QCheck.Test.make ~name:"wheel matches heap on random programs" ~count:500 arb
+    (fun prog ->
+      let wl, wf, wn = Wheel_replay.run prog in
+      let hl, hf, hn = Heap_replay.run prog in
+      wl = hl && wf = hf && wn = hn)
+
 (* Property: events always fire in non-decreasing time order, whatever
    the scheduling pattern. *)
 let prop_sim_monotone =
@@ -394,5 +569,17 @@ let () =
           Alcotest.test_case "stop" `Quick test_sim_stop;
           Alcotest.test_case "pending count" `Quick test_sim_pending_count;
           QCheck_alcotest.to_alcotest prop_sim_monotone;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "cancel releases closure" `Quick
+            test_wheel_cancel_releases_closure;
+          Alcotest.test_case "tie across levels" `Quick test_wheel_tie_across_levels;
+          Alcotest.test_case "run_until cancelled head" `Quick
+            test_wheel_run_until_cancelled_head;
+          Alcotest.test_case "far-future spill" `Quick test_wheel_far_future_spill;
+          Alcotest.test_case "cancellation churn bounded" `Quick
+            test_wheel_churn_bounded;
+          QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
         ] );
     ]

@@ -181,6 +181,72 @@ let test_wq_duplicate_register () =
     (Invalid_argument "Waitqueue.register: id already registered") (fun () ->
       Kernel.Waitqueue.register wq ~id:0 ~try_wake:(fun () -> true))
 
+(* Mutation during a wake traversal: the snapshot semantics. *)
+
+let test_wq_unregister_mid_wake_all () =
+  (* Waiter 2 (visited first) unregisters waiter 0 from its callback;
+     0 must be skipped, not woken through a stale cursor. *)
+  let wq = Kernel.Waitqueue.create Kernel.Waitqueue.Wake_all in
+  let woken = ref [] in
+  Kernel.Waitqueue.register wq ~id:0 ~try_wake:(always_wake woken 0);
+  Kernel.Waitqueue.register wq ~id:1 ~try_wake:(always_wake woken 1);
+  Kernel.Waitqueue.register wq ~id:2 ~try_wake:(fun () ->
+      Kernel.Waitqueue.unregister wq ~id:0;
+      woken := 2 :: !woken;
+      true);
+  check Alcotest.int "two woken" 2 (Kernel.Waitqueue.wake wq);
+  check Alcotest.(list int) "0 skipped" [ 2; 1 ] (List.rev !woken);
+  check Alcotest.(list int) "0 gone afterwards" [ 2; 1 ] (Kernel.Waitqueue.order wq)
+
+let test_wq_register_mid_wake_all () =
+  (* A waiter registered from inside a callback joins the queue but is
+     not visited until the next wake. *)
+  let wq = Kernel.Waitqueue.create Kernel.Waitqueue.Wake_all in
+  let woken = ref [] in
+  Kernel.Waitqueue.register wq ~id:0 ~try_wake:(always_wake woken 0);
+  let spawned = ref false in
+  Kernel.Waitqueue.register wq ~id:1 ~try_wake:(fun () ->
+      if not !spawned then begin
+        spawned := true;
+        Kernel.Waitqueue.register wq ~id:9 ~try_wake:(always_wake woken 9)
+      end;
+      woken := 1 :: !woken;
+      true);
+  check Alcotest.int "only the snapshot woken" 2 (Kernel.Waitqueue.wake wq);
+  check Alcotest.(list int) "9 not visited this round" [ 1; 0 ] (List.rev !woken);
+  check Alcotest.int "all three next round" 3 (Kernel.Waitqueue.wake wq);
+  check Alcotest.bool "9 visited next round" true (List.mem 9 !woken)
+
+let test_wq_rr_self_unregister_not_requeued () =
+  (* A round-robin waiter that accepts the wake and unregisters itself
+     in the same callback must not be rotated back into the ring. *)
+  let wq = Kernel.Waitqueue.create Kernel.Waitqueue.Roundrobin_exclusive in
+  let woken = ref [] in
+  Kernel.Waitqueue.register wq ~id:0 ~try_wake:(always_wake woken 0);
+  Kernel.Waitqueue.register wq ~id:1 ~try_wake:(fun () ->
+      Kernel.Waitqueue.unregister wq ~id:1;
+      woken := 1 :: !woken;
+      true);
+  (* order is [1; 0]: wake hits 1, which removes itself *)
+  check Alcotest.int "one woken" 1 (Kernel.Waitqueue.wake wq);
+  check Alcotest.(list int) "only 0 remains" [ 0 ] (Kernel.Waitqueue.order wq);
+  check Alcotest.int "0 wakes next" 1 (Kernel.Waitqueue.wake wq);
+  check Alcotest.(list int) "1 never re-queued" [ 1; 0 ] (List.rev !woken)
+
+let test_wq_exclusive_skips_unregistered_ahead () =
+  (* A busy waiter's callback unregisters a waiter further along the
+     walk; the walk must skip it and fall through to the next one. *)
+  let wq = Kernel.Waitqueue.create Kernel.Waitqueue.Lifo_exclusive in
+  let woken = ref [] in
+  Kernel.Waitqueue.register wq ~id:0 ~try_wake:(always_wake woken 0);
+  Kernel.Waitqueue.register wq ~id:1 ~try_wake:(always_wake woken 1);
+  (* head of the LIFO walk: busy, and it tears down waiter 1 *)
+  Kernel.Waitqueue.register wq ~id:2 ~try_wake:(fun () ->
+      Kernel.Waitqueue.unregister wq ~id:1;
+      false);
+  check Alcotest.int "one woken" 1 (Kernel.Waitqueue.wake wq);
+  check Alcotest.(list int) "fell through past 1 to 0" [ 0 ] !woken
+
 (* ------------------------------------------------------------------ *)
 (* Socket                                                               *)
 
@@ -598,6 +664,14 @@ let () =
           Alcotest.test_case "wake all" `Quick test_wq_wake_all;
           Alcotest.test_case "unregister" `Quick test_wq_unregister;
           Alcotest.test_case "duplicate register" `Quick test_wq_duplicate_register;
+          Alcotest.test_case "unregister mid wake_all" `Quick
+            test_wq_unregister_mid_wake_all;
+          Alcotest.test_case "register mid wake_all" `Quick
+            test_wq_register_mid_wake_all;
+          Alcotest.test_case "rr self-unregister not requeued" `Quick
+            test_wq_rr_self_unregister_not_requeued;
+          Alcotest.test_case "exclusive skips unregistered ahead" `Quick
+            test_wq_exclusive_skips_unregistered_ahead;
         ] );
       ( "socket",
         [

@@ -575,6 +575,48 @@ let test_device_probe_once_timeout () =
   Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1);
   check Alcotest.bool "timed out" true (!result = None)
 
+let test_device_probe_timeout_traced () =
+  (* A probe that dies by timeout must say so in the trace — loss is
+     distinguishable from delay. *)
+  let device, sim = make_device Lb.Device.Reuseport in
+  for w = 0 to 3 do
+    Lb.Device.crash_worker device w
+  done;
+  let calls = ref 0 in
+  let ring = Trace.Ring.create ~capacity:256 in
+  Trace.with_sink (Trace.ring_sink ring) (fun () ->
+      Lb.Device.probe_once device ~tenant:0 ~timeout:(ms 300)
+        ~on_result:(fun r ->
+          incr calls;
+          check Alcotest.bool "timeout reports None" true (r = None));
+      Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1));
+  check Alcotest.int "on_result exactly once" 1 !calls;
+  let timeouts =
+    List.filter_map
+      (fun r ->
+        match r.Trace.event with
+        | Trace.Probe_timeout { tenant; after } -> Some (tenant, after)
+        | _ -> None)
+      (Trace.Ring.records ring)
+  in
+  check
+    Alcotest.(list (pair int int))
+    "one probe.timeout event" [ (0, ms 300) ] timeouts
+
+let test_device_probe_quarantined_single_fire () =
+  (* Quarantine makes dispatch fail synchronously, before probe_once
+     even returns; the pending timeout must then be cancelled rather
+     than firing on_result a second time. *)
+  let device, sim = make_device Lb.Device.Reuseport in
+  Lb.Device.quarantine_tenant device ~tenant:0;
+  let calls = ref 0 in
+  Lb.Device.probe_once device ~tenant:0 ~timeout:(ms 300) ~on_result:(fun r ->
+      incr calls;
+      check Alcotest.bool "failure reports None" true (r = None));
+  check Alcotest.int "fired synchronously" 1 !calls;
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.sec 1);
+  check Alcotest.int "timeout did not double-fire" 1 !calls
+
 let test_worker_cpu_accounting () =
   let device, sim = make_device Lb.Device.Reuseport in
   let done_ref = ref false in
@@ -653,6 +695,10 @@ let () =
           Alcotest.test_case "degradation sheds" `Quick test_device_degradation_sheds;
           Alcotest.test_case "sampling" `Quick test_device_sampling;
           Alcotest.test_case "probe timeout" `Quick test_device_probe_once_timeout;
+          Alcotest.test_case "probe timeout traced" `Quick
+            test_device_probe_timeout_traced;
+          Alcotest.test_case "probe quarantined single fire" `Quick
+            test_device_probe_quarantined_single_fire;
           Alcotest.test_case "cpu accounting" `Quick test_worker_cpu_accounting;
         ] );
     ]

@@ -77,6 +77,8 @@ let test_render_stability () =
         "worker.close worker=1 conn=7 reset=true" );
       ( Trace.Wst_write { worker = 3; column = Trace.Busy; value = 2 },
         "wst.write worker=3 col=busy value=2" );
+      ( Trace.Probe_timeout { tenant = 2; after = 300_000_000 },
+        "probe.timeout tenant=2 after=300000000" );
     ]
   in
   List.iter
