@@ -1,0 +1,50 @@
+(* scratch differential stress: large times, spill/refill, cancels *)
+module W = Engine.Sim
+module H = Engine.Ref_heap
+
+let () =
+  let rng = Engine.Rng.create 12345 in
+  for trial = 1 to 200 do
+    let prog = ref [] in
+    let n = 1 + Engine.Rng.int rng 80 in
+    for _ = 1 to n do
+      let kind = Engine.Rng.int rng 10 in
+      let big = Engine.Rng.int rng 3 = 0 in
+      let t =
+        if big then (1 lsl 50) + Engine.Rng.int rng (1 lsl 20)
+        else Engine.Rng.int rng (1 lsl (5 * (1 + Engine.Rng.int rng 6)))
+      in
+      prog := (kind, t) :: !prog
+    done;
+    let prog = List.rev !prog in
+    let run (type s) (type h)
+        ~(create : unit -> s) ~(schedule : s -> at:int -> (unit -> unit) -> h)
+        ~(cancel : s -> h -> unit) ~(run_until : s -> limit:int -> unit)
+        ~(now : s -> int) ~(pending : s -> int) =
+      let sim = create () in
+      let log = ref [] in
+      let handles = ref [||] in
+      let idx = ref 0 in
+      List.iter
+        (fun (kind, t) ->
+          if kind < 6 then begin
+            let at = now sim + t in
+            let id = !idx in
+            incr idx;
+            let h = schedule sim ~at (fun () -> log := (now sim, id) :: !log) in
+            handles := Array.append !handles [| h |]
+          end
+          else if kind < 8 then begin
+            if Array.length !handles > 0 then
+              cancel sim !handles.(t mod Array.length !handles)
+          end
+          else begin
+            run_until sim ~limit:(now sim + t);
+            log := (now sim, -1 - pending sim) :: !log
+          end)
+        prog;
+      run_until sim ~limit:max_int / ignore;
+      List.rev !log
+    in
+    ignore run; ignore trial
+  done
