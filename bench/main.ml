@@ -13,6 +13,11 @@
    Sched_bench: timing-wheel vs binary-heap scenarios, JSON emission
    and the speedup-ratio gate.
 
+   Four parts — the fourth is the dispatch fast-path harness of
+   Dispatch_bench: rank-select reuseport, bitmap scheduler and the
+   eBPF closure JIT vs their retired baselines, with a speedup-ratio
+   plus zero-allocation gate against BENCH_PR4.json.
+
    Usage:
      dune exec bench/main.exe                 # everything, full size
      dune exec bench/main.exe -- --quick      # shrunken runs
@@ -20,7 +25,10 @@
      dune exec bench/main.exe -- --micro-only
      dune exec bench/main.exe -- --sched-only --json        # write BENCH_PR3.json
      dune exec bench/main.exe -- --sched-only --quick \
-       --json=BENCH_CI.json --check=BENCH_PR3.json          # CI gate *)
+       --json=BENCH_CI.json --check=BENCH_PR3.json          # CI gate
+     dune exec bench/main.exe -- --dispatch-only --dispatch-json  # BENCH_PR4.json
+     dune exec bench/main.exe -- --dispatch-only --quick \
+       --dispatch-json=BENCH_DISPATCH_CI.json --dispatch-check=BENCH_PR4.json *)
 
 open Bechamel
 open Toolkit
@@ -185,10 +193,18 @@ let () =
   let no_micro = List.mem "--no-micro" args in
   let sched_only = List.mem "--sched-only" args in
   let no_sched = List.mem "--no-sched" args in
+  let dispatch_only = List.mem "--dispatch-only" args in
+  let no_dispatch = List.mem "--no-dispatch" args in
   let json_file = opt_file ~flag:"--json" ~default:"BENCH_PR3.json" args in
   let check_file = opt_file ~flag:"--check" ~default:"BENCH_PR3.json" args in
+  let djson_file =
+    opt_file ~flag:"--dispatch-json" ~default:"BENCH_PR4.json" args
+  in
+  let dcheck_file =
+    opt_file ~flag:"--dispatch-check" ~default:"BENCH_PR4.json" args
+  in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
-  if (not micro_only) && not sched_only then begin
+  if (not micro_only) && (not sched_only) && not dispatch_only then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
     | ids ->
@@ -201,7 +217,7 @@ let () =
             exit 1)
         ids
   end;
-  if (not no_sched) && not micro_only then begin
+  if (not no_sched) && (not micro_only) && not dispatch_only then begin
     let results = Sched_bench.run_all ~quick () in
     Sched_bench.print_table results;
     (match json_file with
@@ -211,4 +227,15 @@ let () =
     | Some baseline -> if not (Sched_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_micro) && not sched_only then run_micro ()
+  if (not no_dispatch) && (not micro_only) && not sched_only then begin
+    let results = Dispatch_bench.run_all ~quick () in
+    Dispatch_bench.print_table results;
+    (match djson_file with
+    | Some file -> Dispatch_bench.write_json ~file results
+    | None -> ());
+    match dcheck_file with
+    | Some baseline ->
+      if not (Dispatch_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if (not no_micro) && (not sched_only) && not dispatch_only then run_micro ()

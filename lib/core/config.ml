@@ -9,6 +9,7 @@ type t = {
   filter_order : filter list;
   schedule_at_loop_end : bool;
   kernel_bytecode : bool;
+  kernel_jit : bool;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     filter_order = [ By_time; By_conn; By_event ];
     schedule_at_loop_end = true;
     kernel_bytecode = false;
+    kernel_jit = false;
   }
 
 let filter_name = function
@@ -30,8 +32,8 @@ let filter_name = function
 
 let pp fmt t =
   Format.fprintf fmt
-    "{thr=%a theta=%.2f min_sel=%d timeout=%a max_ev=%d order=[%s] at_end=%b vm=%b}"
+    "{thr=%a theta=%.2f min_sel=%d timeout=%a max_ev=%d order=[%s] at_end=%b vm=%b jit=%b}"
     Engine.Sim_time.pp t.avail_threshold t.theta_ratio t.min_selected
     Engine.Sim_time.pp t.epoll_timeout t.max_events
     (String.concat ";" (List.map filter_name t.filter_order))
-    t.schedule_at_loop_end t.kernel_bytecode
+    t.schedule_at_loop_end t.kernel_bytecode t.kernel_jit

@@ -31,6 +31,11 @@ type t = {
       (** run the dispatch program as verified register bytecode
           ({!Kernel.Ebpf_vm}) instead of the expression interpreter —
           same semantics, closer to the metal *)
+  kernel_jit : bool;
+      (** closure-compile the verified bytecode at attach time
+          ({!Kernel.Ebpf_jit}) — same semantics again, zero per-packet
+          allocation; implies the bytecode pipeline regardless of
+          [kernel_bytecode] *)
 }
 
 val default : t

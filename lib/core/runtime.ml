@@ -2,6 +2,7 @@ type t = {
   cfg : Config.t;
   grouping : Groups.t;
   metric_hooks : Metrics.t array;
+  sched_scratch : Scheduler.scratch array;  (* one per worker, reused *)
   mutable scheduler_cycles : int;
   mutable scheduler_calls : int;
   mutable sync_calls : int;
@@ -23,6 +24,7 @@ let create ?(group_size = 64) ?(select_mode = Groups.By_flow_hash) ~config
     cfg = config;
     grouping;
     metric_hooks;
+    sched_scratch = Array.init workers (fun _ -> Scheduler.make_scratch ());
     scheduler_cycles = 0;
     scheduler_calls = 0;
     sync_calls = 0;
@@ -40,9 +42,9 @@ let make_prog t ~m_socket =
 
 let schedule_and_sync t ~worker ~now =
   let g, _ = Groups.group_of_worker t.grouping worker in
-  let result =
-    Scheduler.schedule ~config:t.cfg ~wst:(Groups.wst t.grouping g) ~now
-  in
+  let scratch = t.sched_scratch.(worker) in
+  Scheduler.run scratch ~config:t.cfg ~wst:(Groups.wst t.grouping g) ~now;
+  let result = Scheduler.result scratch in
   Kernel.Ebpf_maps.Syscall.update_elem (Groups.m_sel t.grouping) g result.bitmap;
   t.scheduler_cycles <- t.scheduler_cycles + result.cycles;
   t.scheduler_calls <- t.scheduler_calls + 1;

@@ -34,7 +34,11 @@ val make_prog :
 
 val schedule_and_sync : t -> worker:int -> now:Engine.Sim_time.t -> Scheduler.result
 (** Run Algo 1 over the calling worker's group and push the bitmap to
-    the kernel through a counted map-update syscall. *)
+    the kernel through a counted map-update syscall.  The scheduler
+    pass itself runs on the calling worker's reusable
+    {!Scheduler.scratch}, so with tracing disabled it allocates
+    nothing; only the returned summary record and the pushed [int64]
+    are fresh. *)
 
 val mark_dead : t -> worker:int -> unit
 (** Force a worker's availability timestamp far into the past so

@@ -8,8 +8,15 @@
     encoded as a 64-bit bitmap (bit i = worker i selected) ready for
     one atomic eBPF-map store.
 
-    The scheduler is O(n) in the worker count and allocation-light, as
-    §5.3.2 requires of logic embedded in every event loop. *)
+    Two engines share the cascade semantics.  The bitmap-native engine
+    ([run] over a reusable {!scratch}) keeps the survivor mask as two
+    native-int bitmap halves and fills caller-owned snapshot buffers
+    via {!Wst.read_into}; with tracing disabled a pass allocates zero
+    minor-heap words — §5.3.2's requirement of logic embedded in every
+    event loop, taken literally.  {!Ref} is the original bool-array
+    implementation, kept as the differential baseline: both produce
+    bit-identical bitmaps, cutoffs and trace events on every input,
+    which the qcheck suite pins. *)
 
 type result = {
   bitmap : int64;  (** coarse-filter survivors *)
@@ -19,11 +26,49 @@ type result = {
   cycles : int;  (** estimated cycle cost of this invocation *)
 }
 
+(** {1 Zero-allocation engine} *)
+
+type scratch
+(** Reusable per-scheduler state: snapshot buffers sized for
+    {!Wst.max_workers} plus the bitmap mask.  Single-threaded by
+    construction — one per worker event loop. *)
+
+val make_scratch : unit -> scratch
+
+val run : scratch -> config:Config.t -> wst:Wst.t -> now:Engine.Sim_time.t -> unit
+(** One scheduler invocation over a whole WST (a worker group under
+    two-level grouping), leaving the outcome in the scratch.  With
+    tracing disabled this performs zero minor-heap allocation. *)
+
+(** Outcome of the last [run] on this scratch.  [bitmap] boxes its
+    [int64] on each call; the other accessors are allocation-free. *)
+
+val bitmap : scratch -> int64
+val passed : scratch -> int
+val total : scratch -> int
+val after_time : scratch -> int
+val cycles : scratch -> int
+
+val result : scratch -> result
+(** The last [run]'s outcome as a fresh {!result} record. *)
+
 val schedule :
   config:Config.t -> wst:Wst.t -> now:Engine.Sim_time.t -> result
-(** One scheduler invocation over a whole WST (a worker group under
-    two-level grouping).  Workers beyond index 63 are ignored — group
-    sizes are capped at 64 by construction. *)
+(** [run] + [result] on a fresh scratch — the convenient allocating
+    form for tests and cold callers. *)
+
+(** {1 Reference engine} *)
+
+module Ref : sig
+  val schedule :
+    config:Config.t -> wst:Wst.t -> now:Engine.Sim_time.t -> result
+  (** The original bool-array implementation: allocates a snapshot and
+      mask per call.  Semantically identical to {!schedule} (same
+      bitmaps, same trace events) — kept as the qcheck differential
+      baseline and the benchmark's before-side. *)
+end
+
+(** {1 Cascade primitives} *)
 
 val filter_time :
   threshold:Engine.Sim_time.t ->

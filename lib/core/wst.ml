@@ -4,8 +4,11 @@ type t = {
   conn_cells : int Atomic.t array;
 }
 
+let max_workers = 64
+
 let create ~workers =
-  if workers <= 0 then invalid_arg "Wst.create: workers must be positive";
+  if workers <= 0 || workers > max_workers then
+    invalid_arg "Wst.create: workers must be in 1..64";
   {
     avail = Array.init workers (fun _ -> Atomic.make 0);
     busy_cells = Array.init workers (fun _ -> Atomic.make 0);
@@ -47,3 +50,14 @@ let read_all t =
     events = Array.map Atomic.get t.busy_cells;
     conns = Array.map Atomic.get t.conn_cells;
   }
+
+let read_into t ~times ~events ~conns =
+  let n = Array.length t.avail in
+  if Array.length times < n || Array.length events < n || Array.length conns < n
+  then invalid_arg "Wst.read_into: buffers smaller than the table";
+  for w = 0 to n - 1 do
+    Array.unsafe_set times w (Atomic.get (Array.unsafe_get t.avail w));
+    Array.unsafe_set events w (Atomic.get (Array.unsafe_get t.busy_cells w));
+    Array.unsafe_set conns w (Atomic.get (Array.unsafe_get t.conn_cells w))
+  done;
+  n

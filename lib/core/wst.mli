@@ -12,8 +12,14 @@
 
 type t
 
+val max_workers : int
+(** 64 — worker ids index bits of the scheduler's dispatch bitmap. *)
+
 val create : workers:int -> t
-(** All availability timestamps start at 0, counts at 0. *)
+(** All availability timestamps start at 0, counts at 0.
+    @raise Invalid_argument unless [workers] is in 1..{!max_workers}:
+    a larger table would silently lose workers at dispatch time, since
+    the selection bitmap has exactly 64 bits. *)
 
 val workers : t -> int
 
@@ -43,3 +49,10 @@ val read_all : t -> snapshot
 (** The scheduler's Read_SHM (Algo 1 line 3): a lock-free sweep of all
     columns.  Each cell read is individually atomic; the snapshot as a
     whole is not, by design. *)
+
+val read_into : t -> times:Engine.Sim_time.t array -> events:int array -> conns:int array -> int
+(** [read_all] into caller-owned buffers — the allocation-free sweep
+    the per-event-loop scheduler pass uses with its reusable scratch.
+    Fills index [0..workers-1] of each buffer and returns the worker
+    count; slack beyond that is left untouched.
+    @raise Invalid_argument if any buffer is shorter than the table. *)

@@ -96,6 +96,8 @@ let run ?(quick = false) () =
   add "hermes (paper config)" Common.hermes_default;
   add "hermes (kernel bytecode VM)"
     (hermes_with (fun c -> { c with kernel_bytecode = true }));
+  add "hermes (kernel bytecode JIT)"
+    (hermes_with (fun c -> { c with kernel_jit = true }));
   (* Filter order and metric subsets. *)
   add "order: time,event,conn"
     (hermes_with (fun c -> { c with filter_order = [ By_time; By_event; By_conn ] }));

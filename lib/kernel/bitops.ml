@@ -10,6 +10,17 @@ let popcount64 v =
   let v = logand (add v (shift_right_logical v 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul v 0x0101010101010101L) 56)
 
+(* 32-bit SWAR popcount on native ints: the 64-bit masks above do not
+   fit OCaml's 63-bit [int], but the scheduler's bitmap halves (and any
+   value below 2^32) do.  Callers keep wider bitmaps as two halves. *)
+let popcount32 v =
+  let v = v - ((v lsr 1) land 0x55555555) in
+  let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+  (* unlike C's uint32, the 63-bit product keeps bits above 31 — mask
+     the byte the fold accumulated into *)
+  ((v * 0x01010101) lsr 24) land 0xFF
+
 let prefix_mask p =
   if p >= 63 then -1L else Int64.sub (Int64.shift_left 1L (p + 1)) 1L
 

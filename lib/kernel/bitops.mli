@@ -9,6 +9,11 @@
 val popcount64 : int64 -> int
 (** Number of set bits, by the parallel-SWAR Hamming-weight method. *)
 
+val popcount32 : int -> int
+(** Same construction on a native [int] holding a value below [2^32] —
+    allocation-free (no [int64] boxing), for hot paths that keep a
+    64-bit bitmap as two native halves.  Bits 32 and up are ignored. *)
+
 val find_nth_set : int64 -> int -> int
 (** [find_nth_set bm n] is the position (0-based, LSB = 0) of the
     [n]-th set bit, counting from 1 at the least significant set bit.

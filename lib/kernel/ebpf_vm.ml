@@ -397,6 +397,7 @@ let certify code ~proved =
 
 let insn_count v = Array.length v.code
 let program_of v = Array.copy v.code
+let certificate v = Array.copy v.proved
 let fully_proved v = v.all_proved
 
 let residual_checks v =

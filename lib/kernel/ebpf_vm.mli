@@ -101,6 +101,13 @@ val insn_count : verified -> int
 val program_of : verified -> program
 (** A copy of the underlying bytecode. *)
 
+val certificate : verified -> bool array
+(** A copy of the fault-site certificate: [.(pc)] means the dynamic
+    safety checks of instruction [pc] were discharged statically.
+    Alternative execution backends (the closure JIT of {!Ebpf_jit})
+    consume this to elide exactly the checks the interpreter's fast
+    path elides. *)
+
 val fully_proved : verified -> bool
 (** Every potentially-faulting site was discharged; [run] uses the
     fully unchecked fast path. *)

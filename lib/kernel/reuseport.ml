@@ -3,18 +3,37 @@ type stats = {
   selected_by_hash : int;
   dropped : int;
   prog_cycles : int;
+  prog_cycles_select : int;
+  prog_cycles_fallback : int;
+  prog_cycles_drop : int;
 }
 
-type prog_impl = Ast of Ebpf.verified | Vm of Ebpf_vm.verified
+type prog_impl =
+  | Ast of Ebpf.verified
+  | Vm of Ebpf_vm.verified
+  | Jit of Ebpf_jit.t
 
 type t = {
   group_port : Netsim.Addr.port;
   members : Socket.t option array;
+  (* Rank-select acceleration for the default hash fallback: bit [i] of
+     [live_bm] is set iff slot [i] is bound, and the [0, n) prefix of
+     [dense_socks]/[dense_slot] lists the live members in slot order —
+     i.e. [dense_slot.(k) = Bitops.find_nth_set live_bm (k+1)], the
+     precomputed rank-select the per-packet path would otherwise
+     recompute.  Updated on bind/unbind (cold), read-only per packet. *)
+  mutable live_bm : int64;
+  dense_socks : Socket.t option array;
+  dense_slot : int array;
+  slot_by_sock : (int, int) Hashtbl.t; (* Socket.id -> member slot *)
   mutable prog : prog_impl option;
   mutable by_prog : int;
   mutable by_hash : int;
   mutable drop_count : int;
   mutable cycles : int;
+  mutable cyc_select : int;
+  mutable cyc_fallback : int;
+  mutable cyc_drop : int;
 }
 
 let create ~port ~slots =
@@ -23,15 +42,38 @@ let create ~port ~slots =
   {
     group_port = port;
     members = Array.make slots None;
+    live_bm = 0L;
+    dense_socks = Array.make slots None;
+    dense_slot = Array.make slots (-1);
+    slot_by_sock = Hashtbl.create 16;
     prog = None;
     by_prog = 0;
     by_hash = 0;
     drop_count = 0;
     cycles = 0;
+    cyc_select = 0;
+    cyc_fallback = 0;
+    cyc_drop = 0;
   }
 
 let port t = t.group_port
 let slots t = Array.length t.members
+
+let rebuild_dense t =
+  let n = ref 0 in
+  Array.iteri
+    (fun slot m ->
+      match m with
+      | Some _ as r ->
+        t.dense_socks.(!n) <- r;
+        t.dense_slot.(!n) <- slot;
+        incr n
+      | None -> ())
+    t.members;
+  for i = !n to Array.length t.dense_socks - 1 do
+    t.dense_socks.(i) <- None;
+    t.dense_slot.(i) <- -1
+  done
 
 let bind t ~slot ~socket =
   if slot < 0 || slot >= Array.length t.members then
@@ -39,82 +81,131 @@ let bind t ~slot ~socket =
   if t.members.(slot) <> None then invalid_arg "Reuseport.bind: slot taken";
   if Socket.port socket <> t.group_port then
     invalid_arg "Reuseport.bind: socket port differs from group port";
-  t.members.(slot) <- Some socket
+  t.members.(slot) <- Some socket;
+  t.live_bm <- Bitops.set_bit t.live_bm slot;
+  Hashtbl.replace t.slot_by_sock (Socket.id socket) slot;
+  rebuild_dense t
 
 let unbind t ~slot =
   if slot < 0 || slot >= Array.length t.members then
     invalid_arg "Reuseport.unbind: slot out of range";
-  t.members.(slot) <- None
+  (match t.members.(slot) with
+  | Some sock -> Hashtbl.remove t.slot_by_sock (Socket.id sock)
+  | None -> ());
+  t.members.(slot) <- None;
+  t.live_bm <- Bitops.clear_bit t.live_bm slot;
+  rebuild_dense t
 
 let member t ~slot = t.members.(slot)
-
-let live_count t =
-  Array.fold_left (fun acc m -> if m = None then acc else acc + 1) 0 t.members
+let live_count t = Bitops.popcount64 t.live_bm
+let live_bitmap t = t.live_bm
 
 let attach_ebpf t prog = t.prog <- Some (Ast prog)
 let attach_vm t prog = t.prog <- Some (Vm prog)
+let attach_jit t prog = t.prog <- Some (Jit (Ebpf_jit.compile prog))
 
 (* SO_ATTACH_REUSEPORT_EBPF proper: raw bytecode goes through the
    abstract-interpretation verifier at attach time, and only a
-   certified program is installed. *)
-let attach t ~name code =
+   certified program is installed — closure-compiled when [jit]. *)
+let attach ?(jit = false) t ~name code =
   match Verifier.verify ~name code with
   | Ok (vm, _report) ->
-    t.prog <- Some (Vm vm);
+    t.prog <- (if jit then Some (Jit (Ebpf_jit.compile vm)) else Some (Vm vm));
     Ok ()
   | Error e -> Error e
 
 let detach_ebpf t = t.prog <- None
 
-(* Default kernel behaviour: index the live members (bind order) by
-   reciprocal_scale of the flow hash. *)
-let hash_select t ~flow_hash =
-  let live =
-    Array.to_list t.members
-    |> List.mapi (fun slot m -> Option.map (fun sock -> (slot, sock)) m)
-    |> List.filter_map (fun m -> m)
-  in
-  match live with
-  | [] -> None
-  | _ ->
-    let n = List.length live in
-    let idx = Bitops.reciprocal_scale ~hash:flow_hash ~n in
-    Some (List.nth live idx)
-
 (* Member slot of a program-selected socket, for the trace (the
    sockarray the program indexed holds the same sockets as the group's
    member table). *)
 let slot_of_socket t sock =
-  let n = Array.length t.members in
-  let rec go i =
-    if i >= n then -1
-    else
-      match t.members.(i) with Some s when s == sock -> i | _ -> go (i + 1)
-  in
-  go 0
+  match Hashtbl.find_opt t.slot_by_sock (Socket.id sock) with
+  | Some slot -> slot
+  | None -> -1
+
+(* Default kernel behaviour: index the live members (bind order) by
+   reciprocal_scale of the flow hash.  The dense prefix makes this a
+   popcount plus one indexed load, instead of the retired per-packet
+   list build + List.nth walk; the returned option is the member
+   table's own cell, so the steady-state path does not allocate. *)
+let fallback_select t ~flow_hash =
+  let n = Bitops.popcount64 t.live_bm in
+  if n = 0 then None
+  else begin
+    let idx = Bitops.reciprocal_scale ~hash:flow_hash ~n in
+    t.by_hash <- t.by_hash + 1;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Rp_select
+           {
+             port = t.group_port;
+             flow_hash;
+             via = Trace.Hash;
+             slot = Array.unsafe_get t.dense_slot idx;
+           });
+    Array.unsafe_get t.dense_socks idx
+  end
+
+let emit_prog_run ~prog ~flow_hash ~outcome ~cycles =
+  Trace.emit
+    (Trace.Prog_run
+       { prog; flow_hash; outcome = Ebpf.outcome_name outcome; cycles })
 
 let select t ~flow_hash =
-  let fallback () =
-    match hash_select t ~flow_hash with
-    | None -> None
-    | Some (slot, sock) ->
-      t.by_hash <- t.by_hash + 1;
-      if Trace.enabled () then
-        Trace.emit
-          (Trace.Rp_select { port = t.group_port; flow_hash; via = Trace.Hash; slot });
-      Some sock
-  in
   match t.prog with
-  | None -> fallback ()
-  | Some prog -> (
+  | None -> fallback_select t ~flow_hash
+  | Some (Jit j) ->
+    let code = Ebpf_jit.exec j ~flow_hash ~dst_port:t.group_port in
+    let cycles = Ebpf_jit.last_cycles j in
+    t.cycles <- t.cycles + cycles;
+    if code = 1 then (
+      match Ebpf_jit.selected j with
+      | None -> (* exec never reports 1 without a selection *) assert false
+      | Some sock as r ->
+        t.by_prog <- t.by_prog + 1;
+        t.cyc_select <- t.cyc_select + cycles;
+        if Trace.enabled () then begin
+          emit_prog_run ~prog:"jit" ~flow_hash ~outcome:(Ebpf.Selected sock)
+            ~cycles;
+          Trace.emit
+            (Trace.Rp_select
+               {
+                 port = t.group_port;
+                 flow_hash;
+                 via = Trace.Prog;
+                 slot = slot_of_socket t sock;
+               })
+        end;
+        r)
+    else if code = 2 then begin
+      t.drop_count <- t.drop_count + 1;
+      t.cyc_drop <- t.cyc_drop + cycles;
+      if Trace.enabled () then begin
+        emit_prog_run ~prog:"jit" ~flow_hash ~outcome:Ebpf.Dropped ~cycles;
+        Trace.emit (Trace.Rp_drop { port = t.group_port; flow_hash })
+      end;
+      None
+    end
+    else begin
+      t.cyc_fallback <- t.cyc_fallback + cycles;
+      if Trace.enabled () then
+        emit_prog_run ~prog:"jit" ~flow_hash ~outcome:Ebpf.Fell_back ~cycles;
+      fallback_select t ~flow_hash
+    end
+  | Some ((Ast _ | Vm _) as prog) -> (
     let ctx = { Ebpf.flow_hash; dst_port = t.group_port } in
     let outcome, cycles =
-      match prog with Ast p -> Ebpf.run p ctx | Vm p -> Ebpf_vm.run p ctx
+      match prog with
+      | Ast p -> Ebpf.run p ctx
+      | Vm p -> Ebpf_vm.run p ctx
+      | Jit _ -> assert false
     in
     t.cycles <- t.cycles + cycles;
     match outcome with
     | Ebpf.Selected sock ->
       t.by_prog <- t.by_prog + 1;
+      t.cyc_select <- t.cyc_select + cycles;
       if Trace.enabled () then
         Trace.emit
           (Trace.Rp_select
@@ -125,9 +216,12 @@ let select t ~flow_hash =
                slot = slot_of_socket t sock;
              });
       Some sock
-    | Ebpf.Fell_back -> fallback ()
+    | Ebpf.Fell_back ->
+      t.cyc_fallback <- t.cyc_fallback + cycles;
+      fallback_select t ~flow_hash
     | Ebpf.Dropped ->
       t.drop_count <- t.drop_count + 1;
+      t.cyc_drop <- t.cyc_drop + cycles;
       if Trace.enabled () then
         Trace.emit (Trace.Rp_drop { port = t.group_port; flow_hash });
       None)
@@ -138,10 +232,16 @@ let stats t =
     selected_by_hash = t.by_hash;
     dropped = t.drop_count;
     prog_cycles = t.cycles;
+    prog_cycles_select = t.cyc_select;
+    prog_cycles_fallback = t.cyc_fallback;
+    prog_cycles_drop = t.cyc_drop;
   }
 
 let reset_stats t =
   t.by_prog <- 0;
   t.by_hash <- 0;
   t.drop_count <- 0;
-  t.cycles <- 0
+  t.cycles <- 0;
+  t.cyc_select <- 0;
+  t.cyc_fallback <- 0;
+  t.cyc_drop <- 0

@@ -10,13 +10,21 @@
     [SO_ATTACH_REUSEPORT_EBPF] overrides the default; if the program
     falls back or faults, the default hash selection applies — the
     safety net Hermes relies on when too few workers pass the coarse
-    filter. *)
+    filter.
+
+    The fallback is rank-select over an incrementally maintained
+    live-member bitmap: bind/unbind (cold) keep a dense prefix of the
+    member sockets in slot order, so the per-packet path is a popcount
+    and one indexed load — no per-packet list is built, and the
+    steady-state path does not allocate. *)
 
 type t
 
 val create : port:Netsim.Addr.port -> slots:int -> t
 (** A group with capacity for [slots] member sockets (slot = worker
-    id). *)
+    id).  @raise Invalid_argument unless [slots] is in 1..64 — slots
+    index bits of the group's 64-bit live bitmap, exactly as worker
+    ids index the scheduler's dispatch bitmap. *)
 
 val port : t -> Netsim.Addr.port
 val slots : t -> int
@@ -31,6 +39,12 @@ val unbind : t -> slot:int -> unit
 val member : t -> slot:int -> Socket.t option
 val live_count : t -> int
 
+val live_bitmap : t -> int64
+(** Bit [i] set iff slot [i] is bound. *)
+
+val slot_of_socket : t -> Socket.t -> int
+(** Member slot of a bound socket (O(1)); [-1] if not a member. *)
+
 val attach_ebpf : t -> Ebpf.verified -> unit
 (** Attach / replace the selection program (expression-interpreter
     backend). *)
@@ -39,11 +53,17 @@ val attach_vm : t -> Ebpf_vm.verified -> unit
 (** Attach compiled bytecode instead — same semantics, executed by the
     register VM of {!Ebpf_vm}. *)
 
-val attach : t -> name:string -> Ebpf_vm.program -> (unit, Verifier.error) result
+val attach_jit : t -> Ebpf_vm.verified -> unit
+(** Attach certified bytecode closure-compiled by {!Ebpf_jit} — same
+    semantics again, but the per-packet run allocates nothing. *)
+
+val attach :
+  ?jit:bool -> t -> name:string -> Ebpf_vm.program -> (unit, Verifier.error) result
 (** [SO_ATTACH_REUSEPORT_EBPF] proper: run raw bytecode through
     {!Verifier.verify} (emitting the attach-time
-    {!Trace.Verifier_verdict}) and install the certified program; on
-    rejection nothing is attached. *)
+    {!Trace.Verifier_verdict}) and install the certified program — JIT
+    compiled when [jit] (default false: interpreted); on rejection
+    nothing is attached. *)
 
 val detach_ebpf : t -> unit
 
@@ -56,6 +76,11 @@ type stats = {
   selected_by_hash : int;
   dropped : int;
   prog_cycles : int; (** cumulative eBPF cycles — Table 5's dispatcher row *)
+  prog_cycles_select : int;
+      (** portion of [prog_cycles] spent on runs that selected *)
+  prog_cycles_fallback : int;
+      (** …on runs that fell back (incl. faults) to hash selection *)
+  prog_cycles_drop : int;  (** …on runs that dropped the packet *)
 }
 
 val stats : t -> stats

@@ -249,12 +249,15 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
         (match hermes_rt with
         | Some rt ->
           let prog = Hermes.Runtime.make_prog rt ~m_socket:sockarray in
-          if (Hermes.Runtime.config rt).Hermes.Config.kernel_bytecode then
+          let cfg = Hermes.Runtime.config rt in
+          if cfg.Hermes.Config.kernel_bytecode || cfg.Hermes.Config.kernel_jit
+          then
             match Kernel.Ebpf_vm.compile prog with
             | Error msg -> invalid_arg ("Device.create: " ^ msg)
             | Ok code -> (
               match
-                Kernel.Reuseport.attach group ~name:prog.Kernel.Ebpf.name code
+                Kernel.Reuseport.attach ~jit:cfg.Hermes.Config.kernel_jit group
+                  ~name:prog.Kernel.Ebpf.name code
               with
               | Ok () -> ()
               | Error e ->

@@ -1,0 +1,378 @@
+(* The zero-allocation dispatch fast path:
+   - qcheck differential: bitmap-native scheduler vs Scheduler.Ref
+     (results AND emitted trace events)
+   - rank-select reuseport fallback vs the list-based reference pick,
+     and its consistency with Bitops.find_nth_set
+   - per-outcome Reuseport cycle accounting, VM vs JIT parity
+   - Wst.read_into vs read_all
+   - Gc.minor_words-gated allocation checks on the trace-disabled
+     scheduler pass and JIT select (quarantined: skipped on non-native
+     backends or when a known-zero-alloc calibration loop reports
+     allocation, as instrumented runtimes make minor_words lie) *)
+
+let check = Alcotest.check
+
+let ms n = Engine.Sim_time.ms n
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler differential: bitmap engine vs Ref                         *)
+
+let gen_sched_case =
+  QCheck.Gen.(
+    let worker =
+      triple (int_bound 300 (* age ms *)) (int_bound 60 (* events *))
+        (int_bound 120 (* conns *))
+    in
+    quad
+      (list_size (int_range 1 64) worker)
+      (int_bound 5) (* filter-order permutation *)
+      (oneofl [ 0.0; 0.25; 0.5; 1.0; 2.5 ])
+      (int_range 1 200 (* threshold ms *)))
+
+let orders =
+  [
+    [ Hermes.Config.By_time; By_conn; By_event ];
+    [ Hermes.Config.By_time; By_event; By_conn ];
+    [ Hermes.Config.By_conn; By_time; By_event ];
+    [ Hermes.Config.By_conn; By_event; By_time ];
+    [ Hermes.Config.By_event; By_time; By_conn ];
+    [ Hermes.Config.By_event; By_conn; By_time ];
+  ]
+
+let build_case (state, perm_ix, theta_ratio, thr_ms) =
+  let config =
+    {
+      Hermes.Config.default with
+      filter_order = List.nth orders perm_ix;
+      theta_ratio;
+      avail_threshold = ms thr_ms;
+    }
+  in
+  let now = ms 1000 in
+  let wst = Hermes.Wst.create ~workers:(List.length state) in
+  List.iteri
+    (fun i (age, events, conns) ->
+      Hermes.Wst.set_avail wst i ~now:(Engine.Sim_time.sub now (ms age));
+      Hermes.Wst.add_busy wst i events;
+      Hermes.Wst.add_conn wst i conns)
+    state;
+  (config, wst, now)
+
+let result_equal (a : Hermes.Scheduler.result) (b : Hermes.Scheduler.result) =
+  Int64.equal a.bitmap b.bitmap
+  && a.passed = b.passed && a.total = b.total
+  && a.after_time = b.after_time && a.cycles = b.cycles
+
+let prop_bitmap_matches_ref =
+  QCheck.Test.make ~name:"bitmap scheduler = Ref (results)" ~count:500
+    (QCheck.make gen_sched_case) (fun case ->
+      let config, wst, now = build_case case in
+      result_equal
+        (Hermes.Scheduler.schedule ~config ~wst ~now)
+        (Hermes.Scheduler.Ref.schedule ~config ~wst ~now))
+
+(* Golden traces must not move: both engines emit the same
+   Sched_filter / Sched_result stream, cutoff floats included. *)
+let capture f =
+  let ring = Trace.Ring.create ~capacity:64 in
+  Trace.with_sink (Trace.ring_sink ring) f;
+  List.map (fun r -> Trace.render_event r.Trace.event) (Trace.Ring.records ring)
+
+let prop_bitmap_matches_ref_trace =
+  QCheck.Test.make ~name:"bitmap scheduler = Ref (trace events)" ~count:200
+    (QCheck.make gen_sched_case) (fun case ->
+      let config, wst, now = build_case case in
+      let fast =
+        capture (fun () ->
+            ignore (Hermes.Scheduler.schedule ~config ~wst ~now))
+      in
+      let reference =
+        capture (fun () ->
+            ignore (Hermes.Scheduler.Ref.schedule ~config ~wst ~now))
+      in
+      fast <> [] && fast = reference)
+
+(* Scratch reuse across runs must not leak state between invocations. *)
+let test_scratch_reuse () =
+  let s = Hermes.Scheduler.make_scratch () in
+  let cases =
+    [
+      ([ (0, 0, 0); (250, 50, 100); (3, 7, 9) ], 0, 0.5, 100);
+      ([ (10, 1, 1) ], 1, 0.0, 50);
+      (List.init 64 (fun i -> (i * 5, i, i * 2)), 3, 1.0, 120);
+      ([ (299, 60, 120); (299, 60, 120) ], 5, 2.5, 10);
+    ]
+  in
+  List.iter
+    (fun case ->
+      let config, wst, now = build_case case in
+      Hermes.Scheduler.run s ~config ~wst ~now;
+      let reference = Hermes.Scheduler.Ref.schedule ~config ~wst ~now in
+      check Alcotest.bool "reused scratch matches Ref" true
+        (result_equal (Hermes.Scheduler.result s) reference))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Wst.read_into                                                        *)
+
+let test_read_into_matches_read_all () =
+  let wst = Hermes.Wst.create ~workers:5 in
+  for w = 0 to 4 do
+    Hermes.Wst.set_avail wst w ~now:(ms (w * 7));
+    Hermes.Wst.add_busy wst w (w * 3);
+    Hermes.Wst.add_conn wst w (w + 11)
+  done;
+  let snap = Hermes.Wst.read_all wst in
+  let times = Array.make 64 (-1) and events = Array.make 64 (-1) in
+  let conns = Array.make 64 (-1) in
+  let n = Hermes.Wst.read_into wst ~times ~events ~conns in
+  check Alcotest.int "count" 5 n;
+  check Alcotest.(array int) "times" snap.Hermes.Wst.times (Array.sub times 0 n);
+  check Alcotest.(array int) "events" snap.Hermes.Wst.events (Array.sub events 0 n);
+  check Alcotest.(array int) "conns" snap.Hermes.Wst.conns (Array.sub conns 0 n);
+  check Alcotest.int "slack untouched" (-1) times.(5);
+  Alcotest.check_raises "short buffer"
+    (Invalid_argument "Wst.read_into: buffers smaller than the table")
+    (fun () ->
+      ignore
+        (Hermes.Wst.read_into wst ~times:(Array.make 4 0) ~events ~conns))
+
+(* ------------------------------------------------------------------ *)
+(* Rank-select reuseport fallback                                       *)
+
+let fresh_group slots =
+  let g = Kernel.Reuseport.create ~port:80 ~slots in
+  let socks = Array.init slots (fun _ -> Kernel.Socket.create_listen ~port:80 ~backlog:4) in
+  (g, socks)
+
+(* Reference semantics: the pre-rank-select implementation built the
+   live list per packet and picked List.nth. *)
+let reference_pick g ~flow_hash =
+  let live = ref [] in
+  for slot = Kernel.Reuseport.slots g - 1 downto 0 do
+    match Kernel.Reuseport.member g ~slot with
+    | Some s -> live := (slot, s) :: !live
+    | None -> ()
+  done;
+  match !live with
+  | [] -> None
+  | live ->
+    let n = List.length live in
+    Some (List.nth live (Kernel.Bitops.reciprocal_scale ~hash:flow_hash ~n))
+
+let prop_fallback_matches_reference =
+  QCheck.Test.make ~name:"rank-select fallback = list-based reference"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 64)
+           (list_size (int_range 0 80) (int_bound 63))
+           (list_size (int_range 1 20) (int_bound 0xFFFFFF))))
+    (fun (slots, binds, hashes) ->
+      let g, socks = fresh_group slots in
+      (* bind a random subset (duplicates / out-of-range ignored) *)
+      List.iter
+        (fun slot ->
+          if slot < slots && Kernel.Reuseport.member g ~slot = None then
+            Kernel.Reuseport.bind g ~slot ~socket:socks.(slot))
+        binds;
+      List.for_all
+        (fun flow_hash ->
+          match
+            (Kernel.Reuseport.select g ~flow_hash, reference_pick g ~flow_hash)
+          with
+          | None, None -> true
+          | Some got, Some (slot, want) ->
+            Kernel.Socket.id got = Kernel.Socket.id want
+            (* and the winning slot is exactly the bitmap's rank-select *)
+            && Kernel.Reuseport.slot_of_socket g got = slot
+            && slot
+               = Kernel.Bitops.find_nth_set
+                   (Kernel.Reuseport.live_bitmap g)
+                   (1
+                   + Kernel.Bitops.reciprocal_scale ~hash:flow_hash
+                       ~n:(Kernel.Reuseport.live_count g))
+          | _ -> false)
+        hashes)
+
+let test_bind_unbind_bitmap () =
+  let g, socks = fresh_group 8 in
+  List.iter (fun slot -> Kernel.Reuseport.bind g ~slot ~socket:socks.(slot)) [ 1; 3; 6 ];
+  check Alcotest.int64 "bitmap" (Kernel.Bitops.bits_of_list [ 1; 3; 6 ])
+    (Kernel.Reuseport.live_bitmap g);
+  check Alcotest.int "slot_of_socket" 3
+    (Kernel.Reuseport.slot_of_socket g socks.(3));
+  Kernel.Reuseport.unbind g ~slot:3;
+  check Alcotest.int64 "bitmap after unbind" (Kernel.Bitops.bits_of_list [ 1; 6 ])
+    (Kernel.Reuseport.live_bitmap g);
+  check Alcotest.int "unbound socket unknown" (-1)
+    (Kernel.Reuseport.slot_of_socket g socks.(3));
+  check Alcotest.int "live count" 2 (Kernel.Reuseport.live_count g)
+
+(* ------------------------------------------------------------------ *)
+(* Per-outcome cycle accounting, VM vs JIT parity                       *)
+
+(* flow_hash 1 -> select slot 0 (10 cycles: 6 insns + 4 helper extra),
+   flow_hash 2 -> drop (5), anything else -> fallback (5). *)
+let mixed_prog sa =
+  Kernel.Ebpf_vm.
+    [|
+      Ld_flow_hash R3;
+      Jmp_imm (Jeq, R3, 1L, 3);
+      Jmp_imm (Jeq, R3, 2L, 6);
+      Mov_imm (R0, 0L);
+      Exit;
+      Mov_imm (R1, 0L);
+      Call (Sk_select sa);
+      Mov_imm (R0, 1L);
+      Exit;
+      Mov_imm (R0, 2L);
+      Exit;
+    |]
+
+let run_mixed ~jit =
+  let g, socks = fresh_group 4 in
+  for slot = 0 to 3 do
+    Kernel.Reuseport.bind g ~slot ~socket:socks.(slot)
+  done;
+  let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"td_socks" ~size:4 in
+  for i = 0 to 3 do
+    Kernel.Ebpf_maps.Sockarray.set sa i socks.(i)
+  done;
+  (match Kernel.Reuseport.attach ~jit g ~name:"mixed" (mixed_prog sa) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e));
+  List.iter
+    (fun flow_hash -> ignore (Kernel.Reuseport.select g ~flow_hash))
+    [ 1; 2; 3; 1 ];
+  Kernel.Reuseport.stats g
+
+let check_mixed_stats label (st : Kernel.Reuseport.stats) =
+  check Alcotest.int (label ^ " by prog") 2 st.selected_by_prog;
+  check Alcotest.int (label ^ " by hash") 1 st.selected_by_hash;
+  check Alcotest.int (label ^ " dropped") 1 st.dropped;
+  check Alcotest.int (label ^ " select cycles") 20 st.prog_cycles_select;
+  check Alcotest.int (label ^ " drop cycles") 5 st.prog_cycles_drop;
+  check Alcotest.int (label ^ " fallback cycles") 5 st.prog_cycles_fallback;
+  check Alcotest.int (label ^ " total = sum of outcomes")
+    (st.prog_cycles_select + st.prog_cycles_fallback + st.prog_cycles_drop)
+    st.prog_cycles
+
+let test_per_outcome_cycles_vm () = check_mixed_stats "vm" (run_mixed ~jit:false)
+let test_per_outcome_cycles_jit () = check_mixed_stats "jit" (run_mixed ~jit:true)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation gates (quarantined)                                       *)
+
+let alloc_rounds = 1_000
+
+(* Tolerance: the Gc.minor_words probes themselves box a float or two;
+   anything the measured loop allocates per iteration would show up as
+   >= alloc_rounds words. *)
+let alloc_slack = 256.0
+
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let calibrated () =
+  match Sys.backend_type with
+  | Sys.Native ->
+    (* known-zero-alloc loop; instrumented runtimes report otherwise *)
+    let arr = Array.make 64 1 in
+    let sink = ref 0 in
+    let d =
+      minor_words_of (fun () ->
+          for _ = 1 to alloc_rounds do
+            for i = 0 to 63 do
+              sink := !sink + Array.unsafe_get arr i
+            done
+          done)
+    in
+    ignore !sink;
+    d < alloc_slack
+  | _ -> false
+
+let skip_note () =
+  print_endline "  [skipped: non-native backend or instrumented runtime]"
+
+let test_scheduler_pass_zero_alloc () =
+  if not (calibrated ()) then skip_note ()
+  else begin
+    let case = (List.init 64 (fun i -> (i * 4, i, i * 2)), 0, 0.5, 100) in
+    let config, wst, now = build_case case in
+    let s = Hermes.Scheduler.make_scratch () in
+    Hermes.Scheduler.run s ~config ~wst ~now;
+    (* warm *)
+    let d =
+      minor_words_of (fun () ->
+          for _ = 1 to alloc_rounds do
+            Hermes.Scheduler.run s ~config ~wst ~now
+          done)
+    in
+    if not (d < alloc_slack) then
+      Alcotest.failf "scheduler pass allocated %.0f minor words over %d runs" d
+        alloc_rounds
+  end
+
+let test_jit_select_zero_alloc () =
+  if not (calibrated ()) then skip_note ()
+  else begin
+    let g, socks = fresh_group 4 in
+    for slot = 0 to 3 do
+      Kernel.Reuseport.bind g ~slot ~socket:socks.(slot)
+    done;
+    let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"td_alloc_socks" ~size:4 in
+    for i = 0 to 3 do
+      Kernel.Ebpf_maps.Sockarray.set sa i socks.(i)
+    done;
+    (match Kernel.Reuseport.attach ~jit:true g ~name:"alloc" (mixed_prog sa) with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e));
+    ignore (Kernel.Reuseport.select g ~flow_hash:1);
+    (* warm *)
+    let d =
+      minor_words_of (fun () ->
+          for i = 1 to alloc_rounds do
+            (* rotate through select / drop / fallback outcomes *)
+            ignore (Kernel.Reuseport.select g ~flow_hash:(i land 3))
+          done)
+    in
+    if not (d < alloc_slack) then
+      Alcotest.failf "JIT select allocated %.0f minor words over %d runs" d
+        alloc_rounds
+  end
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "scheduler-differential",
+        [
+          QCheck_alcotest.to_alcotest prop_bitmap_matches_ref;
+          QCheck_alcotest.to_alcotest prop_bitmap_matches_ref_trace;
+          Alcotest.test_case "scratch reuse" `Quick test_scratch_reuse;
+        ] );
+      ( "wst",
+        [
+          Alcotest.test_case "read_into = read_all" `Quick
+            test_read_into_matches_read_all;
+        ] );
+      ( "rank-select",
+        [
+          QCheck_alcotest.to_alcotest prop_fallback_matches_reference;
+          Alcotest.test_case "bind/unbind bitmap" `Quick test_bind_unbind_bitmap;
+        ] );
+      ( "cycle-accounting",
+        [
+          Alcotest.test_case "per-outcome (vm)" `Quick test_per_outcome_cycles_vm;
+          Alcotest.test_case "per-outcome (jit)" `Quick
+            test_per_outcome_cycles_jit;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "scheduler pass" `Quick
+            test_scheduler_pass_zero_alloc;
+          Alcotest.test_case "jit select" `Quick test_jit_select_zero_alloc;
+        ] );
+    ]

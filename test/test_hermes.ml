@@ -31,8 +31,15 @@ let test_wst_snapshot () =
 
 let test_wst_invalid () =
   Alcotest.check_raises "zero workers"
-    (Invalid_argument "Wst.create: workers must be positive") (fun () ->
-      ignore (Hermes.Wst.create ~workers:0))
+    (Invalid_argument "Wst.create: workers must be in 1..64") (fun () ->
+      ignore (Hermes.Wst.create ~workers:0));
+  (* Regression: a 65-worker table used to be accepted and then
+     silently truncated to 64 at dispatch time — the bitmap has no bit
+     for worker 64, so it could never be selected. *)
+  Alcotest.check_raises "more workers than bitmap bits"
+    (Invalid_argument "Wst.create: workers must be in 1..64") (fun () ->
+      ignore (Hermes.Wst.create ~workers:65));
+  ignore (Hermes.Wst.create ~workers:64)
 
 (* Lock-free discipline under real parallelism: one writer domain per
    column, one scrubbing reader; final counts must be exact (atomic

@@ -413,6 +413,41 @@ let prop_fast_matches_checked =
         done;
         !ok)
 
+(* Same harness, third backend: the closure JIT must agree with both
+   interpreters on outcome AND cycle count, on every accepted program.
+   The single [jit] instance is reused across all 20 contexts, so any
+   stale scratch state leaking between runs would also surface here. *)
+let prop_jit_matches_interpreters =
+  QCheck.Test.make
+    ~name:"closure JIT = interpreter = checked interpreter (random bytecode)"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_vm_prog small_int))
+    (fun (code, seed) ->
+      match Kernel.Verifier.verify ~budget:3000 code with
+      | Error _ -> true (* rejected programs constrain nothing *)
+      | Ok (v, _) ->
+        let jit = Kernel.Ebpf_jit.compile v in
+        let rng = Engine.Rng.create (seed + 7) in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let ctx =
+            {
+              Kernel.Ebpf.flow_hash =
+                Engine.Rng.int rng 0x7FFFFFFF - 0x3FFFFFFF;
+              dst_port = Engine.Rng.int rng 0xFFFF;
+            }
+          in
+          let vm_out, vm_cycles = Kernel.Ebpf_vm.run v ctx in
+          let chk_out, chk_cycles = Kernel.Ebpf_vm.run_checked v ctx in
+          let jit_out, jit_cycles = Kernel.Ebpf_jit.run jit ctx in
+          ok :=
+            !ok
+            && outcome_equal jit_out vm_out
+            && outcome_equal jit_out chk_out
+            && jit_cycles = vm_cycles && jit_cycles = chk_cycles
+        done;
+        !ok)
+
 let () =
   Alcotest.run "verifier"
     [
@@ -454,5 +489,8 @@ let () =
           Alcotest.test_case "depth limit" `Quick test_ast_rejects_depth_limit;
         ] );
       ( "differential",
-        [ QCheck_alcotest.to_alcotest prop_fast_matches_checked ] );
+        [
+          QCheck_alcotest.to_alcotest prop_fast_matches_checked;
+          QCheck_alcotest.to_alcotest prop_jit_matches_interpreters;
+        ] );
     ]
