@@ -203,8 +203,16 @@ let () =
   let dcheck_file =
     opt_file ~flag:"--dispatch-check" ~default:"BENCH_PR4.json" args
   in
+  let chaos_only = List.mem "--chaos-only" args in
+  let no_chaos = List.mem "--no-chaos" args in
+  let cjson_file =
+    opt_file ~flag:"--chaos-json" ~default:"BENCH_CHAOS.json" args
+  in
+  let ccheck_file =
+    opt_file ~flag:"--chaos-check" ~default:"BENCH_CHAOS.json" args
+  in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
-  if (not micro_only) && (not sched_only) && not dispatch_only then begin
+  if (not micro_only) && (not sched_only) && (not dispatch_only) && not chaos_only then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
     | ids ->
@@ -217,7 +225,7 @@ let () =
             exit 1)
         ids
   end;
-  if (not no_sched) && (not micro_only) && not dispatch_only then begin
+  if (not no_sched) && (not micro_only) && (not dispatch_only) && not chaos_only then begin
     let results = Sched_bench.run_all ~quick () in
     Sched_bench.print_table results;
     (match json_file with
@@ -227,7 +235,7 @@ let () =
     | Some baseline -> if not (Sched_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_dispatch) && (not micro_only) && not sched_only then begin
+  if (not no_dispatch) && (not micro_only) && (not sched_only) && not chaos_only then begin
     let results = Dispatch_bench.run_all ~quick () in
     Dispatch_bench.print_table results;
     (match djson_file with
@@ -238,4 +246,16 @@ let () =
       if not (Dispatch_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_micro) && (not sched_only) && not dispatch_only then run_micro ()
+  if (not no_chaos) && (not micro_only) && (not sched_only) && not dispatch_only
+  then begin
+    let results = Chaos_bench.run_all ~quick () in
+    Chaos_bench.print_table results;
+    (match cjson_file with
+    | Some file -> Chaos_bench.write_json ~file results
+    | None -> ());
+    match ccheck_file with
+    | Some baseline -> if not (Chaos_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if (not no_micro) && (not sched_only) && (not dispatch_only) && not chaos_only
+  then run_micro ()

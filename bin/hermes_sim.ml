@@ -102,6 +102,20 @@ let verify_cmd =
     let doc = "Also dump the per-instruction abstract states." in
     Arg.(value & flag & info [ "dump" ] ~doc)
   in
+  let plan_arg =
+    let doc =
+      "Also lint this fault-plan file (unknown worker ids, bad durations); \
+       the built-in chaos plan is always linted."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let plan_workers_arg =
+    let doc = "Worker count the fault plans are linted against." in
+    Arg.(
+      value
+      & opt int Faults.Chaos.default_config.Faults.Chaos.workers
+      & info [ "plan-workers" ] ~docv:"N" ~doc)
+  in
   let presets () =
     let single workers =
       let m_sel =
@@ -131,7 +145,7 @@ let verify_cmd =
         two_level 128 64 Hermes.Groups.By_dst_port;
       ]
   in
-  let run dump =
+  let run dump plan_file plan_workers =
     let failures = ref [] in
     Printf.printf "%-24s %6s %8s %8s %7s %9s  %s\n" "program" "insns"
       "backjmp" "visited" "proved" "residual" "verdict";
@@ -163,6 +177,30 @@ let verify_cmd =
                 (fun pc st -> Printf.printf ";   %4d: %s\n" pc st)
                 r.Kernel.Verifier.states)))
       (presets ());
+    let plans =
+      ("builtin chaos plan", Ok Faults.Chaos.default_plan)
+      ::
+      (match plan_file with
+      | None -> []
+      | Some path -> [ (path, Faults.Plan.load path) ])
+    in
+    List.iter
+      (fun (name, plan) ->
+        match plan with
+        | Error e ->
+          Printf.printf "%-24s plan parse failed: %s\n" name e;
+          failures := name :: !failures
+        | Ok plan -> (
+          match Faults.Plan.lint ~workers:plan_workers plan with
+          | Ok () ->
+            Printf.printf "%-24s plan ok (%d entries, %d workers)\n" name
+              (List.length plan) plan_workers
+          | Error problems ->
+            List.iter
+              (fun p -> Printf.printf "%-24s plan lint: %s\n" name p)
+              problems;
+            failures := name :: !failures))
+      plans;
     match !failures with
     | [] -> `Ok ()
     | fs ->
@@ -173,10 +211,14 @@ let verify_cmd =
   in
   let doc =
     "Verify every shipped dispatch program with the abstract \
-     interpreter; fail unless each is accepted loop-free with a \
-     complete certificate (zero residual runtime checks)."
+     interpreter, and lint fault plans against the device shape; fail \
+     unless each program is accepted loop-free with a complete \
+     certificate (zero residual runtime checks) and each plan is \
+     well-formed."
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ dump_flag))
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(ret (const run $ dump_flag $ plan_arg $ plan_workers_arg))
 
 let all_cmd =
   let run quick trace =
@@ -185,9 +227,121 @@ let all_cmd =
   let doc = "Run every experiment in paper order." in
   Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ quick_flag $ trace_arg))
 
+let chaos_cmd =
+  let plan_arg =
+    let doc =
+      "Fault plan file (one injection per line: $(b,at <time> <kind> \
+       key=value...)); the built-in all-classes plan when omitted."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let seed_arg =
+    let doc = "Run seed; same plan + same seed replays byte-identically." in
+    Arg.(
+      value
+      & opt int Faults.Chaos.default_config.Faults.Chaos.seed
+      & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let doc = "Dispatch mode: $(docv) is one of hermes, exclusive, reuseport, \
+               epoll-rr, wake-all, io_uring-fifo, or $(b,all) for the sweep." in
+    Arg.(value & opt string "hermes" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker count." in
+    Arg.(
+      value
+      & opt int Faults.Chaos.default_config.Faults.Chaos.workers
+      & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let show_plan_flag =
+    let doc = "Print the effective plan and exit without running." in
+    Arg.(value & flag & info [ "show-plan" ] ~doc)
+  in
+  let parse_mode = function
+    | "hermes" -> Ok [ Lb.Device.Hermes Hermes.Config.default ]
+    | "exclusive" -> Ok [ Lb.Device.Exclusive ]
+    | "reuseport" -> Ok [ Lb.Device.Reuseport ]
+    | "epoll-rr" -> Ok [ Lb.Device.Epoll_rr ]
+    | "wake-all" -> Ok [ Lb.Device.Wake_all ]
+    | "io_uring-fifo" -> Ok [ Lb.Device.Io_uring_fifo ]
+    | "all" ->
+      Ok
+        [
+          Lb.Device.Hermes Hermes.Config.default;
+          Lb.Device.Exclusive;
+          Lb.Device.Reuseport;
+          Lb.Device.Epoll_rr;
+          Lb.Device.Io_uring_fifo;
+        ]
+    | m -> Error (Printf.sprintf "unknown mode %S" m)
+  in
+  let run plan_file seed mode workers show_plan trace =
+    let plan =
+      match plan_file with
+      | None -> Ok Faults.Chaos.default_plan
+      | Some path -> Faults.Plan.load path
+    in
+    match (plan, parse_mode mode) with
+    | Error e, _ -> `Error (false, "bad plan: " ^ e)
+    | _, Error e -> `Error (false, e)
+    | Ok plan, Ok modes -> (
+      if show_plan then begin
+        print_string (Faults.Plan.to_string plan);
+        `Ok ()
+      end
+      else
+        match Faults.Plan.lint ~workers plan with
+        | Error problems ->
+          `Error (false, "plan lint: " ^ String.concat "; " problems)
+        | Ok () ->
+          let capture, finish =
+            match trace with
+            | None -> (None, fun () -> ())
+            | Some path ->
+              let oc = open_out path in
+              ( Some (fun r -> output_string oc (Trace.json_of_record r ^ "\n")),
+                fun () -> close_out oc )
+          in
+          let failures = ref [] in
+          List.iter
+            (fun mode ->
+              let config =
+                {
+                  Faults.Chaos.default_config with
+                  Faults.Chaos.mode;
+                  workers;
+                  seed;
+                }
+              in
+              let outcome = Faults.Chaos.run ?capture ~plan config in
+              Faults.Chaos.print_outcome outcome;
+              if outcome.Faults.Chaos.monitor.Faults.Monitor.violations <> []
+              then failures := outcome.Faults.Chaos.label :: !failures)
+            modes;
+          finish ();
+          (match !failures with
+          | [] -> `Ok ()
+          | fs ->
+            `Error
+              ( false,
+                "invariant violations under: "
+                ^ String.concat ", " (List.rev fs) )))
+  in
+  let doc =
+    "Replay a fault plan against one device with the invariant monitors \
+     attached; non-zero exit if any invariant is violated."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const run $ plan_arg $ seed_arg $ mode_arg $ workers_arg
+       $ show_plan_flag $ trace_arg))
+
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in
   let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; all_cmd; disasm_cmd; verify_cmd ]
+  Cmd.group info
+    [ list_cmd; run_cmd; all_cmd; chaos_cmd; disasm_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -3,6 +3,7 @@ type t = {
   grouping : Groups.t;
   metric_hooks : Metrics.t array;
   sched_scratch : Scheduler.scratch array;  (* one per worker, reused *)
+  mutable sync_defer : ((unit -> unit) -> unit) option;
   mutable scheduler_cycles : int;
   mutable scheduler_calls : int;
   mutable sync_calls : int;
@@ -25,6 +26,7 @@ let create ?(group_size = 64) ?(select_mode = Groups.By_flow_hash) ~config
     grouping;
     metric_hooks;
     sched_scratch = Array.init workers (fun _ -> Scheduler.make_scratch ());
+    sync_defer = None;
     scheduler_cycles = 0;
     scheduler_calls = 0;
     sync_calls = 0;
@@ -40,12 +42,21 @@ let hooks t w = t.metric_hooks.(w)
 let make_prog t ~m_socket =
   Groups.make_prog t.grouping ~m_socket ~min_selected:t.cfg.min_selected
 
+let set_sync_defer t defer = t.sync_defer <- defer
+
 let schedule_and_sync t ~worker ~now =
   let g, _ = Groups.group_of_worker t.grouping worker in
   let scratch = t.sched_scratch.(worker) in
   Scheduler.run scratch ~config:t.cfg ~wst:(Groups.wst t.grouping g) ~now;
   let result = Scheduler.result scratch in
-  Kernel.Ebpf_maps.Syscall.update_elem (Groups.m_sel t.grouping) g result.bitmap;
+  (* The bitmap push is a bpf() syscall; under an injected map-sync
+     delay the store lands later, and the kernel keeps dispatching on
+     the previous bitmap in the interim. *)
+  let m_sel = Groups.m_sel t.grouping in
+  (match t.sync_defer with
+  | None -> Kernel.Ebpf_maps.Syscall.update_elem m_sel g result.bitmap
+  | Some defer ->
+    defer (fun () -> Kernel.Ebpf_maps.Syscall.update_elem m_sel g result.bitmap));
   t.scheduler_cycles <- t.scheduler_cycles + result.cycles;
   t.scheduler_calls <- t.scheduler_calls + 1;
   t.sync_calls <- t.sync_calls + 1;

@@ -45,6 +45,16 @@ val mark_dead : t -> worker:int -> unit
     FilterTime excludes it immediately (used when a crash is
     detected). *)
 
+val set_sync_defer : t -> ((unit -> unit) -> unit) option -> unit
+(** Fault hook for the map-sync path.  With [Some defer] installed,
+    every bitmap push of [schedule_and_sync] is routed through
+    [defer] instead of landing immediately — the chaos harness passes
+    a simulator [schedule_after] so the kernel keeps dispatching on
+    the previous bitmap for the injected delay, the benign staleness
+    window §5.4 argues the design tolerates.  [None] (the default)
+    restores the synchronous push.  The syscall is counted when the
+    store lands, not when it is issued. *)
+
 type accounting = {
   counter_cycles : int;  (** Table 5 "Counter" *)
   scheduler_cycles : int;  (** Table 5 "Scheduler" *)

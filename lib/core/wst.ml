@@ -2,6 +2,7 @@ type t = {
   avail : int Atomic.t array;
   busy_cells : int Atomic.t array;
   conn_cells : int Atomic.t array;
+  stalled : bool array;
 }
 
 let max_workers = 64
@@ -13,14 +14,24 @@ let create ~workers =
     avail = Array.init workers (fun _ -> Atomic.make 0);
     busy_cells = Array.init workers (fun _ -> Atomic.make 0);
     conn_cells = Array.init workers (fun _ -> Atomic.make 0);
+    stalled = Array.make workers false;
   }
 
 let workers t = Array.length t.avail
 
+let set_stall t w stalled =
+  if w < 0 || w >= Array.length t.stalled then
+    invalid_arg "Wst.set_stall: worker out of range";
+  t.stalled.(w) <- stalled
+
+let stalled t w = t.stalled.(w)
+
 let set_avail t w ~now =
-  Atomic.set t.avail.(w) now;
-  if Trace.enabled () then
-    Trace.emit (Trace.Wst_write { worker = w; column = Trace.Avail; value = now })
+  if not t.stalled.(w) then begin
+    Atomic.set t.avail.(w) now;
+    if Trace.enabled () then
+      Trace.emit (Trace.Wst_write { worker = w; column = Trace.Avail; value = now })
+  end
 
 let add_busy t w delta =
   let old = Atomic.fetch_and_add t.busy_cells.(w) delta in

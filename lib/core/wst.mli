@@ -4,7 +4,7 @@
     worker, three rows — the timestamp of the worker's last entry into
     its epoll event loop, its pending-event count, and its accumulated
     connection count.  The memory is partitioned by worker (each worker
-    writes only its own column) and every cell is an {!Atomic.t}, so
+    writes only its own column) and every cell is an [Atomic.t], so
     updates and the scheduler's full-table reads need no locks and
     never observe torn values.  Readers may see a mix of old and new
     columns — the benign inconsistency the paper argues is
@@ -26,12 +26,31 @@ val workers : t -> int
 (** {1 Writers — called only by worker [w] itself} *)
 
 val set_avail : t -> int -> now:Engine.Sim_time.t -> unit
+(** Record the worker's entry into its event loop (Fig. 9 line 12).
+    Dropped silently while the column is {!set_stall}ed. *)
+
 val add_busy : t -> int -> int -> unit
 (** [add_busy t w delta] — positive on epoll_wait return, -1 per
     handled event (Fig. 9 lines 14/18). *)
 
 val add_conn : t -> int -> int -> unit
 (** +1 on accept, -1 on close (Fig. 9 lines 25/37). *)
+
+(** {1 Fault injection} *)
+
+val set_stall : t -> int -> bool -> unit
+(** [set_stall t w true] makes worker [w]'s availability-timestamp
+    writes stop landing — the shared-memory write-stall fault of the
+    chaos harness: the worker keeps running, but its column freezes,
+    so the Algo 1 time filter must exclude it within one staleness
+    window even though the process is alive.  Only the timestamp is
+    gated: the busy/conn cells are deltas, and dropping deltas would
+    skew the column permanently, breaking the recovery invariant this
+    fault exists to test.  [set_stall t w false] lifts the stall; the
+    next [set_avail] lands and re-admits the worker.
+    @raise Invalid_argument if [w] is out of range. *)
+
+val stalled : t -> int -> bool
 
 (** {1 Readers} *)
 

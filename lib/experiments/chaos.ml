@@ -1,0 +1,29 @@
+(** Chaos: the canonical all-classes fault plan under each dispatch
+    mode, with the invariant monitors watching the trace stream.
+
+    Not a paper figure — this is the harness's own resilience
+    experiment: replay {!Faults.Chaos.default_plan} (hang, WST write
+    stall, eBPF program fault, crash/isolate/recover, map-sync delay +
+    probe-loss burst, accept-queue overflow, slowdown) against the
+    compared modes and report tail latency, loss counters, and the
+    monitors' verdict.  Hermes is expected to hold all four
+    invariants; the kernel-hash modes document the reuseport blind
+    spot instead (dispatches keep landing on dead workers, so the
+    exclusion monitor is informational there). *)
+
+let name = "chaos"
+let title = "Fault-plan replay with invariant monitors, per mode"
+
+let run ?(quick = false) () =
+  Common.section name title;
+  let modes = if quick then Common.compared_modes else Common.all_modes in
+  List.iter
+    (fun (_label, mode) ->
+      let config = { Faults.Chaos.default_config with Faults.Chaos.mode } in
+      let outcome = Faults.Chaos.run config in
+      Faults.Chaos.print_outcome outcome)
+    modes;
+  Common.note "plan: Faults.Chaos.default_plan (same seed, same schedule, every mode)";
+  Common.note
+    "exclusion/fallback invariants are enforced in Hermes mode; hash modes \
+     show the reuseport blind spot"

@@ -24,6 +24,7 @@ let all =
     { id = Exceptions.name; title = Exceptions.title; run = Exceptions.run };
     { id = Iouring.name; title = Iouring.title; run = Iouring.run };
     { id = Experiences.name; title = Experiences.title; run = Experiences.run };
+    { id = Chaos.name; title = Chaos.title; run = Chaos.run };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

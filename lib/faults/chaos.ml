@@ -1,0 +1,147 @@
+module Sim = Engine.Sim
+module Sim_time = Engine.Sim_time
+module Device = Lb.Device
+
+type config = {
+  mode : Device.mode;
+  workers : int;
+  tenants : int;
+  seed : int;
+  horizon : Sim_time.t;
+  drain : Sim_time.t;
+  probes : bool;
+}
+
+let default_config =
+  {
+    mode = Device.Hermes Hermes.Config.default;
+    workers = 8;
+    tenants = 4;
+    seed = 0xC0FFEE;
+    horizon = Sim_time.sec 6;
+    drain = Sim_time.ms 300;
+    probes = true;
+  }
+
+let default_plan =
+  let ms = Sim_time.ms in
+  Plan.
+    [
+      { at = ms 500; action = Hang { worker = 1; duration = ms 600 } };
+      { at = ms 1500; action = Wst_stall { worker = 2; duration = ms 600 } };
+      { at = ms 2300; action = Ebpf_fail { duration = ms 400 } };
+      { at = ms 3000; action = Crash { worker = 3 } };
+      { at = ms 3200; action = Isolate { worker = 3 } };
+      { at = ms 3800; action = Recover { worker = 3 } };
+      {
+        at = ms 4200;
+        action = Map_sync_delay { delay = ms 20; duration = ms 400 };
+      };
+      { at = ms 4200; action = Probe_loss { duration = ms 400 } };
+      {
+        at = ms 4800;
+        action = Accept_overflow { worker = 0; duration = ms 400 };
+      };
+      {
+        at = ms 5400;
+        action = Slowdown { worker = 4; factor = 4; duration = ms 500 };
+      };
+    ]
+
+type outcome = {
+  label : string;
+  monitor : Monitor.report;
+  completed : int;
+  drops : int;
+  resets : int;
+  p50_ms : float;
+  p99_ms : float;
+  probes_sent : int;
+  probes_delayed : int;
+  trace_events : int;
+}
+
+let monitor_config_for mode =
+  match mode with
+  | Device.Hermes (cfg : Hermes.Config.t) ->
+    {
+      Monitor.default_config with
+      Monitor.staleness_window = cfg.Hermes.Config.avail_threshold;
+      expect_exclusion = true;
+      expect_fallback = true;
+    }
+  | _ ->
+    {
+      Monitor.default_config with
+      Monitor.expect_exclusion = false;
+      expect_fallback = false;
+    }
+
+let run ?capture ?(plan = default_plan) config =
+  Lb.Worker.reset_synthetic_ids ();
+  let sim = Sim.create () in
+  let rng = Engine.Rng.create config.seed in
+  let device_rng = Engine.Rng.split rng in
+  let tenant_arr = Netsim.Tenant.population ~n:config.tenants ~base_dport:20000 in
+  let device =
+    Device.create ~sim ~rng:device_rng ~mode:config.mode ~workers:config.workers
+      ~tenants:tenant_arr ()
+  in
+  let monitor = Monitor.create (monitor_config_for config.mode) in
+  let events = ref 0 in
+  let sink =
+    {
+      Trace.write =
+        (fun r ->
+          incr events;
+          Monitor.observe monitor r;
+          match capture with None -> () | Some f -> f r);
+      close = ignore;
+    }
+  in
+  Trace.with_sink sink (fun () ->
+      Device.start device;
+      Inject.arm ~device ~plan;
+      let prober =
+        if config.probes then
+          Some
+            (Lb.Probe.Per_worker.start ~config:Lb.Probe.default_config
+               ~target:device)
+        else None
+      in
+      let profile =
+        Workload.Cases.profile Workload.Cases.Case1 ~workers:config.workers
+      in
+      let driver = Workload.Driver.start ~device ~profile ~rng () in
+      Sim.run_until sim ~limit:config.horizon;
+      Workload.Driver.stop driver;
+      Option.iter Lb.Probe.Per_worker.stop prober;
+      Sim.run_until sim ~limit:(config.horizon + config.drain);
+      let hist = Device.latency_hist device in
+      let to_ms ns = ns /. 1e6 in
+      {
+        label = Device.mode_name config.mode;
+        monitor = Monitor.finalize monitor ~device;
+        completed = Device.completed device;
+        drops = Device.dropped device;
+        resets = Device.conns_reset device;
+        p50_ms = to_ms (Stats.Histogram.percentile hist 50.0);
+        p99_ms = to_ms (Stats.Histogram.percentile hist 99.0);
+        probes_sent =
+          (match prober with
+          | Some p -> Lb.Probe.Per_worker.sent p
+          | None -> 0);
+        probes_delayed =
+          (match prober with
+          | Some p -> Lb.Probe.Per_worker.delayed p
+          | None -> 0);
+        trace_events = !events;
+      })
+
+let print_outcome o =
+  Printf.printf "  %-22s completed %6d  drops %4d  resets %4d  p50 %6.2fms  p99 %7.2fms\n"
+    o.label o.completed o.drops o.resets o.p50_ms o.p99_ms;
+  if o.probes_sent > 0 then
+    Printf.printf "  probes: %d sent, %d delayed\n" o.probes_sent o.probes_delayed;
+  Printf.printf "  trace: %d events\n" o.trace_events;
+  Format.printf "  @[<v>%a@]@." Monitor.pp_report o.monitor

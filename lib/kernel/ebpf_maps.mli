@@ -5,7 +5,7 @@
     bitmap ({i M_Sel} in Algo 1/2), and a
     [BPF_MAP_TYPE_REUSEPORT_SOCKARRAY] maps worker ids to their
     listening sockets ({i M_socket}).  Array values are held in
-    {!Atomic.t} cells, so concurrent userspace updates and kernel-side
+    [Atomic.t] cells, so concurrent userspace updates and kernel-side
     lookups are lock-free and never observe torn values — the property
     §5.4 relies on.
 

@@ -27,6 +27,8 @@ type t = {
   dense_slot : int array;
   slot_by_sock : (int, int) Hashtbl.t; (* Socket.id -> member slot *)
   mutable prog : prog_impl option;
+  mutable prog_fault : bool;
+  mutable faulted_runs : int;
   mutable by_prog : int;
   mutable by_hash : int;
   mutable drop_count : int;
@@ -47,6 +49,8 @@ let create ~port ~slots =
     dense_slot = Array.make slots (-1);
     slot_by_sock = Hashtbl.create 16;
     prog = None;
+    prog_fault = false;
+    faulted_runs = 0;
     by_prog = 0;
     by_hash = 0;
     drop_count = 0;
@@ -116,6 +120,15 @@ let attach ?(jit = false) t ~name code =
 
 let detach_ebpf t = t.prog <- None
 
+(* Fault injection: an attached program that faults at run time (or an
+   attach that failed and left no program) must never take the data
+   path down — the kernel contract is that selection degrades to the
+   default hash.  While the flag is set, [select] behaves exactly as
+   if every program run faulted: straight to [fallback_select]. *)
+let set_prog_fault t faulted = t.prog_fault <- faulted
+let prog_faulted t = t.prog_fault
+let faulted_runs t = t.faulted_runs
+
 (* Member slot of a program-selected socket, for the trace (the
    sockarray the program indexed holds the same sockets as the group's
    member table). *)
@@ -154,6 +167,9 @@ let emit_prog_run ~prog ~flow_hash ~outcome ~cycles =
 
 let select t ~flow_hash =
   match t.prog with
+  | Some _ when t.prog_fault ->
+    t.faulted_runs <- t.faulted_runs + 1;
+    fallback_select t ~flow_hash
   | None -> fallback_select t ~flow_hash
   | Some (Jit j) ->
     let code = Ebpf_jit.exec j ~flow_hash ~dst_port:t.group_port in

@@ -67,6 +67,24 @@ val attach :
 
 val detach_ebpf : t -> unit
 
+(** {1 Fault injection} *)
+
+val set_prog_fault : t -> bool -> unit
+(** [set_prog_fault t true] makes every subsequent {!select} behave as
+    if the attached program faulted at run time: selection goes
+    straight to the rank-select hash fallback, exactly the degraded
+    path the kernel takes when [SO_ATTACH_REUSEPORT_EBPF] fails or the
+    program traps (§6's safety net).  The program stays attached;
+    [set_prog_fault t false] restores it.  A no-op while no program is
+    attached. *)
+
+val prog_faulted : t -> bool
+
+val faulted_runs : t -> int
+(** Selections that skipped the program because of an injected fault
+    (not included in [stats.prog_cycles] — a faulted run never
+    executes). *)
+
 val select : t -> flow_hash:int -> Socket.t option
 (** Socket selection for one SYN.  [None] when the group is empty or
     the program dropped the packet. *)

@@ -9,7 +9,7 @@ type pending_conn = {
 type t = {
   sock_id : int;
   listen_port : Netsim.Addr.port;
-  backlog : int;
+  mutable backlog : int;
   queue : pending_conn Queue.t;
   mutable queued : int;
   mutable dropped : int;
@@ -35,6 +35,11 @@ let create_listen ~port ~backlog =
 
 let id t = t.sock_id
 let port t = t.listen_port
+let backlog t = t.backlog
+
+let set_backlog t n =
+  if n <= 0 then invalid_arg "Socket.set_backlog: backlog must be positive";
+  t.backlog <- n
 
 let push t conn =
   if t.closed || Queue.length t.queue >= t.backlog then begin

@@ -28,6 +28,16 @@ val id : t -> int
 
 val port : t -> Netsim.Addr.port
 
+val backlog : t -> int
+
+val set_backlog : t -> int -> unit
+(** Change the accept-queue bound in place — the accept-queue-overflow
+    fault clamps a victim socket to a tiny backlog so handshakes start
+    dropping, then restores the original value on recovery.  Already
+    queued connections beyond a smaller bound stay queued (as with
+    [listen(2)] re-issued on a live socket); only new pushes see the
+    new limit.  @raise Invalid_argument unless positive. *)
+
 val push : t -> pending_conn -> [ `Queued | `Dropped ]
 (** Handshake completion: enqueue the connection (kernel side).  The
     caller is responsible for then waking the socket's waiters. *)

@@ -74,6 +74,7 @@ type t = {
   tenant_index_of_id : (int, int) Hashtbl.t;
   quarantined : bool array;
   vip : Netsim.Addr.ip;
+  mutable probe_loss : bool;  (* injected probe-loss burst in progress *)
 }
 
 let sim t = t.sim
@@ -109,15 +110,20 @@ let handle_established t conn =
   | None -> ()
 
 let handle_request_done t conn req =
-  Stats.Histogram.record t.lat
-    (float_of_int (Sim_time.sub (Sim.now t.sim) req.Request.arrival + Cost.client_rtt));
-  t.completed_count <- t.completed_count + 1;
-  (match tenant_index t conn.Conn.tenant_id with
-  | Some i -> t.tenant_cpu.(i) <- Sim_time.add t.tenant_cpu.(i) req.Request.cost
-  | None -> ());
-  match meta_of t conn with
-  | Some m -> m.events.request_done conn req
-  | None -> ()
+  (* tenant_id < 0 marks a fault-injection carrier: synthetic stall
+     work must not count as served traffic or skew the latency tail. *)
+  if conn.Conn.tenant_id >= 0 then begin
+    Stats.Histogram.record t.lat
+      (float_of_int
+         (Sim_time.sub (Sim.now t.sim) req.Request.arrival + Cost.client_rtt));
+    t.completed_count <- t.completed_count + 1;
+    (match tenant_index t conn.Conn.tenant_id with
+    | Some i -> t.tenant_cpu.(i) <- Sim_time.add t.tenant_cpu.(i) req.Request.cost
+    | None -> ());
+    match meta_of t conn with
+    | Some m -> m.events.request_done conn req
+    | None -> ()
+  end
 
 let handle_closed t conn =
   match meta_of t conn with
@@ -127,7 +133,7 @@ let handle_closed t conn =
   | None -> ()
 
 let handle_reset t conn =
-  t.reset_count <- t.reset_count + 1;
+  if conn.Conn.tenant_id >= 0 then t.reset_count <- t.reset_count + 1;
   match meta_of t conn with
   | Some m ->
     Hashtbl.remove t.metas conn.Conn.id;
@@ -207,6 +213,7 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
          h);
       quarantined = Array.make (Array.length tenants) false;
       vip = Netsim.Addr.ip_of_string "10.200.0.1";
+      probe_loss = false;
     }
   in
   let callbacks =
@@ -366,9 +373,55 @@ let probe_once t ~tenant ~timeout ~on_result =
       dispatch_failed = (fun () -> finish None);
     }
   in
-  connect t ~tenant ~events
+  (* Under an injected probe-loss burst the probe SYN vanishes on the
+     wire: nothing is dispatched and the timeout is the only path. *)
+  if not t.probe_loss then connect t ~tenant ~events
 
 let crash_worker t w = Worker.crash t.workers_arr.(w)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection hooks (driven by Faults.Inject through the plan)     *)
+
+let set_probe_loss t lost = t.probe_loss <- lost
+
+let iter_groups t f =
+  Hashtbl.iter
+    (fun _port plumbing ->
+      match plumbing with
+      | Shared _ -> ()
+      | Dedicated { group; _ } -> f group)
+    t.ports
+
+let fail_ebpf_prog t = iter_groups t (fun g -> Kernel.Reuseport.set_prog_fault g true)
+let restore_ebpf_prog t = iter_groups t (fun g -> Kernel.Reuseport.set_prog_fault g false)
+
+let set_map_sync_delay t delay =
+  match t.hermes_rt with
+  | None -> ()
+  | Some rt ->
+    Hermes.Runtime.set_sync_defer rt
+      (Option.map
+         (fun d k -> ignore (Sim.schedule_after t.sim ~delay:d k))
+         delay)
+
+(* Accept-queue overflow: clamp the victim's listening sockets to a
+   one-deep backlog so handshakes start dropping.  Dedicated modes
+   clamp worker [w]'s socket on every port; shared modes have no
+   per-worker socket, so the port sockets themselves are clamped (the
+   blast radius production sees when somebody fat-fingers somaxconn). *)
+let clamp_backlog t ~worker limit =
+  Hashtbl.iter
+    (fun _port plumbing ->
+      match plumbing with
+      | Shared { socket; _ } -> Kernel.Socket.set_backlog socket limit
+      | Dedicated { group; _ } -> (
+        match Kernel.Reuseport.member group ~slot:worker with
+        | Some sock -> Kernel.Socket.set_backlog sock limit
+        | None -> ()))
+    t.ports
+
+let overflow_accept_queue t ~worker = clamp_backlog t ~worker 1
+let restore_accept_queue t ~worker = clamp_backlog t ~worker t.backlog
 
 let isolate_worker t w =
   if not t.isolated.(w) then begin

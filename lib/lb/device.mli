@@ -108,6 +108,35 @@ val inject_hang : t -> worker:int -> duration:Engine.Sim_time.t -> unit
 (** Hand the worker one request costing [duration] — the stuck-drain
     hang of Appendix C. *)
 
+val set_probe_loss : t -> bool -> unit
+(** While set, [probe_once] drops the probe SYN on the wire: the
+    timeout path is the only outcome.  Models a probe-loss burst
+    (monitoring network brown-out) without touching tenant traffic. *)
+
+val fail_ebpf_prog : t -> unit
+(** Make every port group's attached dispatch program fault at run
+    time ({!Kernel.Reuseport.set_prog_fault}): selection degrades to
+    the rank-select hash fallback until [restore_ebpf_prog].  No-op in
+    shared modes (nothing is attached). *)
+
+val restore_ebpf_prog : t -> unit
+
+val set_map_sync_delay : t -> Engine.Sim_time.t option -> unit
+(** Defer every scheduler bitmap push by the given delay (via
+    {!Hermes.Runtime.set_sync_defer} on this device's simulator); the
+    kernel dispatches on the stale bitmap in the interim.  [None]
+    restores synchronous pushes.  No-op in non-Hermes modes. *)
+
+val overflow_accept_queue : t -> worker:int -> unit
+(** Clamp the victim's listening-socket backlogs to one pending
+    connection, so handshakes overflow and drop.  Dedicated modes
+    clamp worker's socket per port; shared modes clamp the port
+    sockets themselves (there is no per-worker socket). *)
+
+val restore_accept_queue : t -> worker:int -> unit
+(** Undo [overflow_accept_queue], restoring the device's configured
+    backlog. *)
+
 val enable_degradation :
   t -> policy:Hermes.Degrade.policy -> check_every:Engine.Sim_time.t -> unit
 (** Periodically measure per-worker utilization and RST connections on

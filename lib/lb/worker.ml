@@ -63,6 +63,7 @@ type t = {
   conn_table : (int, Conn.t) Hashtbl.t;
   worker_stats : stats;
   mutable state : state;
+  mutable fault_conn : Conn.t option;  (* carrier for injected stalls *)
   mutable epoch : int;  (* invalidates in-flight continuations on crash *)
   (* CPU accounting: [cpu_committed] counts fully elapsed busy time;
      [cur_start, cur_end] is the charge interval in progress, so
@@ -100,6 +101,7 @@ let create ~sim ~id ~config ~alloc_fd ~callbacks ?hermes () =
           spurious_wakeups = 0;
         };
       state = Init;
+      fault_conn = None;
       epoch = 0;
       cpu_committed = 0;
       cur_start = 0;
@@ -391,6 +393,7 @@ let start t =
   | Blocked _ | Waking | Running | Crashed -> ()
 
 let synthetic_seq = ref 1_000_000_000
+let reset_synthetic_ids () = synthetic_seq := 1_000_000_000
 
 let adopt_conn t ~tenant_id =
   if t.state = Crashed then invalid_arg "Worker.adopt_conn: worker crashed";
@@ -421,6 +424,47 @@ let deliver t conn req =
   end
   else false
 
+(* Fault injection: charge the worker [cost] of synthetic event-loop
+   work through the normal epoll/deliver path, so the loop stops
+   rotating (no [avail_update]) for the duration exactly as a stuck
+   drain or GC pause does in production.  The work arrives on a lazily
+   created fault connection that bypasses the accept path and the
+   accept/conn-count stats — injections must not look like traffic. *)
+let fault_conn t =
+  let usable c = Conn.is_open c && Hashtbl.mem t.conn_table c.Conn.fd in
+  match t.fault_conn with
+  | Some c when usable c -> c
+  | Some _ | None ->
+    incr synthetic_seq;
+    let tuple =
+      {
+        Netsim.Addr.src_ip = 0x7F000001;
+        src_port = 1;
+        dst_ip = 0x7F000001;
+        dst_port = 0;
+      }
+    in
+    let conn_fd = t.alloc_fd () in
+    let conn =
+      Conn.make ~id:!synthetic_seq ~fd:conn_fd ~tuple ~tenant_id:(-1)
+        ~worker_id:t.worker_id ~established:(Sim.now t.sim)
+    in
+    Hashtbl.replace t.conn_table conn_fd conn;
+    Kernel.Epoll.add_conn t.ep ~fd:conn_fd;
+    (* Counted in the WST conn column (the injected work does occupy a
+       connection slot) so the crash/restart repair arithmetic stays
+       balanced; accept stats are not touched. *)
+    conn_add t 1;
+    t.fault_conn <- Some conn;
+    conn
+
+let inject_stall t ~req_id ~cost =
+  if t.state = Crashed then false
+  else
+    deliver t (fault_conn t)
+      (Request.make ~id:req_id ~op:Request.Websocket_frame ~size:0 ~cost
+         ~tenant_id:(-1))
+
 let reset_connection t conn =
   if Conn.is_open conn && Hashtbl.mem t.conn_table conn.Conn.fd then
     do_close t conn Conn.Reset
@@ -433,6 +477,10 @@ let restart t =
         Hashtbl.remove t.conn_table conn.Conn.fd;
         conn.Conn.state <- Conn.Reset;
         t.worker_stats.resets <- t.worker_stats.resets + 1;
+        if Trace.enabled () then
+          Trace.emit
+            (Trace.Close
+               { worker = t.worker_id; conn = conn.Conn.id; reset = true });
         t.callbacks.on_conn_reset conn)
       owned;
     List.iter

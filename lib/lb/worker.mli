@@ -90,6 +90,22 @@ val restart : t -> unit
 val reset_connection : t -> Conn.t -> unit
 (** Proactively RST one owned connection (degradation shedding). *)
 
+val inject_stall : t -> req_id:int -> cost:Engine.Sim_time.t -> bool
+(** Fault injection: charge [cost] of synthetic work through the
+    worker's normal event loop, so the loop stops rotating (and the
+    WST availability timestamp stops advancing) for the duration —
+    the mechanism behind the hang, GC-pause, and slow-down fault
+    classes.  The work rides a lazily created fault connection with
+    [tenant_id = -1] that bypasses the accept path and accept stats.
+    Returns false (and injects nothing) if the worker is crashed. *)
+
+val reset_synthetic_ids : unit -> unit
+(** Reset the process-wide id counter behind [adopt_conn] and
+    [inject_stall] carriers.  Replay determinism (same plan, same
+    seed, byte-identical trace) needs every id in the trace to restart
+    from the same origin; the chaos harness calls this once per run,
+    next to [Trace.install]'s own sequence reset. *)
+
 val conns : t -> Conn.t list
 val conn_count : t -> int
 val cpu_busy : t -> Engine.Sim_time.t

@@ -26,6 +26,8 @@ type event =
       residual : int;
       reason : string;
     }
+  | Fault_inject of { fault : string; worker : int; arg : int }
+  | Fault_clear of { fault : string; worker : int }
 
 type record = { seq : int; time : int; event : event }
 
@@ -158,6 +160,10 @@ let render_event = function
        proved=%d residual=%d reason=%s"
       prog backend accepted insns visited proved residual
       (if reason = "" then "-" else reason)
+  | Fault_inject { fault; worker; arg } ->
+    Printf.sprintf "fault.inject kind=%s worker=%d arg=%d" fault worker arg
+  | Fault_clear { fault; worker } ->
+    Printf.sprintf "fault.clear kind=%s worker=%d" fault worker
 
 let render r = Printf.sprintf "%10d %s" r.time (render_event r.event)
 
@@ -208,6 +214,11 @@ let json_fields = function
       "\"prog\":%s,\"backend\":%s,\"accepted\":%b,\"insns\":%d,\"visited\":%d,\"proved\":%d,\"residual\":%d,\"reason\":%s"
       (json_string prog) (json_string backend) accepted insns visited proved
       residual (json_string reason)
+  | Fault_inject { fault; worker; arg } ->
+    Printf.sprintf "\"kind\":%s,\"worker\":%d,\"arg\":%d" (json_string fault)
+      worker arg
+  | Fault_clear { fault; worker } ->
+    Printf.sprintf "\"kind\":%s,\"worker\":%d" (json_string fault) worker
 
 let event_name = function
   | Wq_wake _ -> "wq.wake"
@@ -223,6 +234,8 @@ let event_name = function
   | Wst_write _ -> "wst.write"
   | Probe_timeout _ -> "probe.timeout"
   | Verifier_verdict _ -> "verifier.verdict"
+  | Fault_inject _ -> "fault.inject"
+  | Fault_clear _ -> "fault.clear"
 
 let json_of_record r =
   Printf.sprintf "{\"seq\":%d,\"t\":%d,\"ev\":%s,%s}" r.seq r.time

@@ -74,6 +74,15 @@ type event =
           [visited] counts abstract instruction visits, [proved] the
           fault sites discharged statically and [residual] those left
           as runtime checks.  [reason] is empty on acceptance. *)
+  | Fault_inject of { fault : string; worker : int; arg : int }
+      (** A fault-plan injection fired: [fault] is the fault-class name
+          (["crash"], ["hang"], ["wst_stall"], ["ebpf_fail"], …),
+          [worker] the target ([-1] for device-wide faults), [arg] a
+          class-specific parameter (duration in ns, delay, …).  The
+          invariant monitors key their windows off these events. *)
+  | Fault_clear of { fault : string; worker : int }
+      (** The matching end of a bounded-duration injection (or an
+          explicit recovery action). *)
 
 type record = { seq : int; time : int; event : event }
 (** [time] is virtual nanoseconds ({!set_now}); [seq] a process-wide

@@ -5,7 +5,7 @@ let check = Alcotest.check
 
 let test_registry_complete () =
   let ids = Experiments.Registry.ids () in
-  check Alcotest.int "eighteen experiments" 18 (List.length ids);
+  check Alcotest.int "nineteen experiments" 19 (List.length ids);
   List.iter
     (fun id ->
       check Alcotest.bool (id ^ " findable") true
@@ -13,7 +13,7 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "table3"; "table4"; "table5";
       "fig3"; "fig45"; "fig7"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15";
-      "fig_a5"; "ablation"; "exceptions"; "iouring"; "experiences";
+      "fig_a5"; "ablation"; "exceptions"; "iouring"; "experiences"; "chaos";
     ]
 
 let test_registry_ids_unique () =

@@ -79,6 +79,10 @@ let test_render_stability () =
         "wst.write worker=3 col=busy value=2" );
       ( Trace.Probe_timeout { tenant = 2; after = 300_000_000 },
         "probe.timeout tenant=2 after=300000000" );
+      ( Trace.Fault_inject { fault = "hang"; worker = 3; arg = 600_000_000 },
+        "fault.inject kind=hang worker=3 arg=600000000" );
+      ( Trace.Fault_clear { fault = "ebpf_fail"; worker = -1 },
+        "fault.clear kind=ebpf_fail worker=-1" );
     ]
   in
   List.iter
