@@ -102,7 +102,7 @@ let select_scenario ~workers ~ops =
     (* 3/4 of the slots bound: rank-select has real gaps to skip *)
     if slot mod 4 <> 3 then
       Kernel.Reuseport.bind g ~slot
-        ~socket:(Kernel.Socket.create_listen ~port:80 ~backlog:4)
+        ~socket:(Kernel.Socket.create_listen ~port:80 ~backlog:4 ())
   done;
   let members =
     Array.init workers (fun slot -> Kernel.Reuseport.member g ~slot)
@@ -211,7 +211,7 @@ let ebpf_setup () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"DB_M_sock" ~size:64 in
   for i = 0 to 63 do
     Kernel.Ebpf_maps.Sockarray.set m_socket i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:4)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:4 ())
   done;
   let prog = Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2 in
   let ast = Kernel.Ebpf.verify_exn prog in

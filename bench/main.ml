@@ -18,6 +18,11 @@
    eBPF closure JIT vs their retired baselines, with a speedup-ratio
    plus zero-allocation gate against BENCH_PR4.json.
 
+   Five parts — the fifth is the sharded-cluster scaling harness of
+   Cluster_bench: the same cluster program under 1/2/4/8 worker
+   domains, with a behaviour (completed-count) gate and a
+   machine-shape-aware speedup gate against BENCH_PR6.json.
+
    Usage:
      dune exec bench/main.exe                 # everything, full size
      dune exec bench/main.exe -- --quick      # shrunken runs
@@ -28,7 +33,10 @@
        --json=BENCH_CI.json --check=BENCH_PR3.json          # CI gate
      dune exec bench/main.exe -- --dispatch-only --dispatch-json  # BENCH_PR4.json
      dune exec bench/main.exe -- --dispatch-only --quick \
-       --dispatch-json=BENCH_DISPATCH_CI.json --dispatch-check=BENCH_PR4.json *)
+       --dispatch-json=BENCH_DISPATCH_CI.json --dispatch-check=BENCH_PR4.json
+     dune exec bench/main.exe -- --cluster-only --cluster-json  # BENCH_PR6.json
+     dune exec bench/main.exe -- --cluster-only --quick \
+       --cluster-json=BENCH_CLUSTER_CI.json --cluster-check=BENCH_PR6.json *)
 
 open Bechamel
 open Toolkit
@@ -61,7 +69,7 @@ let dispatch_prog =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"M_sock" ~size:64 in
   for i = 0 to 63 do
     Kernel.Ebpf_maps.Sockarray.set m_socket i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:4)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:4 ())
   done;
   Kernel.Ebpf.verify_exn
     (Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected:2)
@@ -72,7 +80,7 @@ let dispatch_vm =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"M_sock_vm" ~size:64 in
   for i = 0 to 63 do
     Kernel.Ebpf_maps.Sockarray.set m_socket i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:4)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:4 ())
   done;
   match
     Kernel.Verifier.compile_and_verify
@@ -211,8 +219,19 @@ let () =
   let ccheck_file =
     opt_file ~flag:"--chaos-check" ~default:"BENCH_CHAOS.json" args
   in
+  let cluster_only = List.mem "--cluster-only" args in
+  let no_cluster = List.mem "--no-cluster" args in
+  let kjson_file =
+    opt_file ~flag:"--cluster-json" ~default:"BENCH_PR6.json" args
+  in
+  let kcheck_file =
+    opt_file ~flag:"--cluster-check" ~default:"BENCH_PR6.json" args
+  in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
-  if (not micro_only) && (not sched_only) && (not dispatch_only) && not chaos_only then begin
+  if
+    (not micro_only) && (not sched_only) && (not dispatch_only)
+    && (not chaos_only) && not cluster_only
+  then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
     | ids ->
@@ -225,7 +244,10 @@ let () =
             exit 1)
         ids
   end;
-  if (not no_sched) && (not micro_only) && (not dispatch_only) && not chaos_only then begin
+  if
+    (not no_sched) && (not micro_only) && (not dispatch_only)
+    && (not chaos_only) && not cluster_only
+  then begin
     let results = Sched_bench.run_all ~quick () in
     Sched_bench.print_table results;
     (match json_file with
@@ -235,7 +257,10 @@ let () =
     | Some baseline -> if not (Sched_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_dispatch) && (not micro_only) && (not sched_only) && not chaos_only then begin
+  if
+    (not no_dispatch) && (not micro_only) && (not sched_only)
+    && (not chaos_only) && not cluster_only
+  then begin
     let results = Dispatch_bench.run_all ~quick () in
     Dispatch_bench.print_table results;
     (match djson_file with
@@ -246,7 +271,9 @@ let () =
       if not (Dispatch_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_chaos) && (not micro_only) && (not sched_only) && not dispatch_only
+  if
+    (not no_chaos) && (not micro_only) && (not sched_only)
+    && (not dispatch_only) && not cluster_only
   then begin
     let results = Chaos_bench.run_all ~quick () in
     Chaos_bench.print_table results;
@@ -257,5 +284,21 @@ let () =
     | Some baseline -> if not (Chaos_bench.check ~baseline results) then exit 1
     | None -> ()
   end;
-  if (not no_micro) && (not sched_only) && (not dispatch_only) && not chaos_only
+  if
+    (not no_cluster) && (not micro_only) && (not sched_only)
+    && (not dispatch_only) && not chaos_only
+  then begin
+    let results = Cluster_bench.run_all ~quick () in
+    Cluster_bench.print_table results;
+    (match kjson_file with
+    | Some file -> Cluster_bench.write_json ~file results
+    | None -> ());
+    match kcheck_file with
+    | Some baseline ->
+      if not (Cluster_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if
+    (not no_micro) && (not sched_only) && (not dispatch_only)
+    && (not chaos_only) && not cluster_only
   then run_micro ()

@@ -338,10 +338,210 @@ let chaos_cmd =
         (const run $ plan_arg $ seed_arg $ mode_arg $ workers_arg
        $ show_plan_flag $ trace_arg))
 
+(* Sharded cluster runner: the CLI face of Cluster.Lb_cluster.  The
+   printed summary and the JSONL trace depend only on the logical
+   decomposition (devices, seed, lookahead, plan), never on --shards —
+   CI replays the same seed at different shard counts and diffs the
+   trace files byte-for-byte. *)
+let cluster_cmd =
+  let devices_arg =
+    let doc = "Member devices behind the VIP (\"8 LBs in total\", §6.1)." in
+    Arg.(value & opt int 8 & info [ "devices" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Workers per member device." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Executing domain count.  Changes wall-clock only; traces and \
+       counters are byte-identical for every value."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Run seed; same seed replays byte-identically." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Virtual run length in milliseconds." in
+    Arg.(value & opt int 200 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let conns_arg =
+    let doc =
+      "Connections to open, spread uniformly over the first 80% of the \
+       run."
+    in
+    Arg.(value & opt int 400 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let reqs_arg =
+    let doc = "Requests per connection (1 ms service cost each)." in
+    Arg.(value & opt int 2 & info [ "reqs" ] ~docv:"N" ~doc)
+  in
+  let lookahead_arg =
+    let doc =
+      "Cross-process message latency / synchronization round width in \
+       microseconds (default: the runtime's cross-shard latency).  A \
+       model parameter: changing it changes the trace."
+    in
+    Arg.(value & opt (some int) None & info [ "lookahead-us" ] ~docv:"US" ~doc)
+  in
+  let mode_arg =
+    let doc =
+      "Dispatch mode for every member: hermes, exclusive, reuseport, \
+       epoll-rr, wake-all or io_uring-fifo."
+    in
+    Arg.(value & opt string "reuseport" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan file, armed on every member's own process (entries \
+       must sit beyond one lookahead so arming never schedules into a \
+       member's past)."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let parse_single_mode = function
+    | "hermes" -> Ok (Lb.Device.Hermes Hermes.Config.default)
+    | "exclusive" -> Ok Lb.Device.Exclusive
+    | "reuseport" -> Ok Lb.Device.Reuseport
+    | "epoll-rr" -> Ok Lb.Device.Epoll_rr
+    | "wake-all" -> Ok Lb.Device.Wake_all
+    | "io_uring-fifo" -> Ok Lb.Device.Io_uring_fifo
+    | m -> Error (Printf.sprintf "unknown mode %S" m)
+  in
+  let run devices workers shards seed duration_ms conns reqs lookahead_us
+      mode_name plan_file trace =
+    if devices < 1 then `Error (false, "devices must be >= 1")
+    else if shards < 1 then `Error (false, "shards must be >= 1")
+    else if duration_ms < 1 then `Error (false, "duration-ms must be >= 1")
+    else
+      let plan =
+        match plan_file with
+        | None -> Ok None
+        | Some path -> (
+          match Faults.Plan.load path with
+          | Error e -> Error ("bad plan: " ^ e)
+          | Ok p -> (
+            match Faults.Plan.lint ~workers p with
+            | Error problems ->
+              Error ("plan lint: " ^ String.concat "; " problems)
+            | Ok () -> Ok (Some p)))
+      in
+      match (parse_single_mode mode_name, plan) with
+      | Error e, _ | _, Error e -> `Error (false, e)
+      | Ok mode, Ok plan ->
+        let module ST = Engine.Sim_time in
+        let sim = Engine.Sim.create () in
+        let rng = Engine.Rng.create seed in
+        let tenants = Netsim.Tenant.population ~n:4 ~base_dport:20000 in
+        let cluster =
+          Cluster.Lb_cluster.create ~sim ~rng ~tenants ~devices ~mode ~workers
+            ~shards
+            ?lookahead:(Option.map ST.us lookahead_us)
+            ?trace_capacity:(if trace = None then None else Some 262144)
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Cluster.Lb_cluster.shutdown cluster)
+          (fun () ->
+            (match plan with
+            | None -> ()
+            | Some p ->
+              List.iter
+                (fun (slot, _) ->
+                  Cluster.Lb_cluster.run_on cluster ~slot (fun dev ->
+                      Faults.Inject.arm ~device:dev ~plan:p))
+                (Cluster.Lb_cluster.devices cluster));
+            let established = ref 0 and closed = ref 0 and resets = ref 0 in
+            let failed = ref 0 and req_done = ref 0 in
+            let window_us = duration_ms * 1000 * 4 / 5 in
+            for i = 0 to conns - 1 do
+              let at = ST.us (i * window_us / max 1 conns) in
+              let tenant = i mod Array.length tenants in
+              ignore
+                (Engine.Sim.schedule sim ~at (fun () ->
+                     let open Cluster.Lb_cluster in
+                     let pending = ref reqs in
+                     connect cluster ~tenant
+                       ~events:
+                         {
+                           established =
+                             (fun h ->
+                               incr established;
+                               for _ = 1 to reqs do
+                                 send h
+                                   (Lb.Request.make ~id:(fresh_id cluster)
+                                      ~op:Lb.Request.Plain_proxy ~size:64
+                                      ~cost:(ST.ms 1) ~tenant_id:tenant)
+                               done);
+                           request_done =
+                             (fun h _ ->
+                               incr req_done;
+                               decr pending;
+                               if !pending = 0 then close h);
+                           closed = (fun _ -> incr closed);
+                           reset = (fun _ -> incr resets);
+                           dispatch_failed = (fun () -> incr failed);
+                         }))
+            done;
+            let t0 = Unix.gettimeofday () in
+            Engine.Sim.run_until sim ~limit:(ST.ms duration_ms);
+            let wall = Unix.gettimeofday () -. t0 in
+            let records = Cluster.Lb_cluster.merged_trace cluster in
+            let drops = Cluster.Lb_cluster.trace_drops cluster in
+            (match trace with
+            | None -> ()
+            | Some path ->
+              let oc = open_out path in
+              List.iter
+                (fun r -> output_string oc (Trace.json_of_record r ^ "\n"))
+                records;
+              close_out oc);
+            (* Everything on stdout is deterministic in the logical
+               decomposition; wall-clock goes to stderr so shard-count
+               sweeps can diff stdout too. *)
+            Printf.printf
+              "cluster devices=%d workers=%d mode=%s seed=%d lookahead=%s \
+               duration=%dms\n"
+              devices workers mode_name seed
+              (ST.to_string (Cluster.Lb_cluster.lookahead cluster))
+              duration_ms;
+            Printf.printf
+              "conns established=%d closed=%d resets=%d dispatch_failed=%d\n"
+              !established !closed !resets !failed;
+            Printf.printf
+              "requests done=%d device_completed=%d device_dropped=%d\n"
+              !req_done
+              (Cluster.Lb_cluster.completed cluster)
+              (Cluster.Lb_cluster.dropped cluster);
+            Printf.printf "trace records=%d\n" (List.length records);
+            Printf.eprintf "shards=%d wall=%.3fs\n%!" shards wall;
+            if drops > 0 then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "trace ring overflowed (%d drops); the JSONL trace is \
+                     truncated"
+                    drops )
+            else `Ok ())
+  in
+  let doc =
+    "Run a sharded multi-device cluster simulation; the merged JSONL \
+     trace and the stdout summary are byte-identical for every \
+     $(b,--shards) value."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      ret
+        (const run $ devices_arg $ workers_arg $ shards_arg $ seed_arg
+       $ duration_arg $ conns_arg $ reqs_arg $ lookahead_arg $ mode_arg
+       $ plan_arg $ trace_arg))
+
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in
   let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ list_cmd; run_cmd; all_cmd; chaos_cmd; disasm_cmd; verify_cmd ]
+    [ list_cmd; run_cmd; all_cmd; cluster_cmd; chaos_cmd; disasm_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval main)

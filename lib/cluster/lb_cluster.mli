@@ -6,7 +6,30 @@
     (no new connections, existing ones finish — how canary rollouts
     phase VMs out), and removed once empty.  [rolling_replace]
     implements the §6.2 canary: add a new-version device, drain an
-    old one, wait, remove, repeat. *)
+    old one, wait, remove, repeat.
+
+    {2 Sharded execution}
+
+    Every member device owns a private {!Engine.Sim} and runs as one
+    logical process; the caller's simulator is the control process that
+    carries the L4 spread, the rollout logic and the aggregate
+    counters.  Cluster<->device interaction crosses process boundaries
+    as timestamped messages with a fixed [lookahead] latency, and an
+    {!Engine.Coordinator} advances the fleet in lookahead-wide rounds
+    (conservative synchronization) from a recurring event on the
+    control simulator — so driving the control sim with
+    [Sim.run_until] drives the whole fleet.  Do {e not} drive it with
+    [Sim.run]: the round event re-arms itself, so the queue never
+    empties before {!shutdown}.
+
+    [?shards] sets how many OCaml domains execute member rounds; it
+    never affects behaviour, only wall-clock.  Traces, counters and
+    schedules are functions of the logical decomposition alone, which
+    the differential harness pins by comparing {!merged_trace} output
+    byte-for-byte across shard counts.  Touching a device directly
+    (via {!device}) mutates that member's simulator from the control
+    domain and is only safe under [shards = 1] — the default, and what
+    the single-threaded tests and examples use. *)
 
 type t
 
@@ -17,9 +40,18 @@ val create :
   devices:int ->
   mode:Lb.Device.mode ->
   ?workers:int ->
+  ?shards:int ->
+  ?lookahead:Engine.Sim_time.t ->
+  ?trace_capacity:int ->
   unit ->
   t
-(** A cluster of [devices] identical members, all started. *)
+(** A cluster of [devices] identical members, all started.  [shards]
+    (default 1) is the executing domain count; [lookahead] (default
+    {!Hermes.Runtime.cross_shard_latency}[ ()]) the cross-process
+    message latency and round width; [trace_capacity] (default off)
+    gives every member a private trace ring of that many records for
+    {!merged_trace}.  Call {!shutdown} when done if [shards > 1] —
+    OCaml caps live domains, so leaked pools starve later clusters. *)
 
 val size : t -> int
 (** Members currently in the cluster (serving or draining). *)
@@ -28,12 +60,22 @@ val in_rotation : t -> int
 (** Members accepting new connections. *)
 
 val device : t -> int -> Lb.Device.t
-(** Member by slot.  @raise Invalid_argument for a removed slot. *)
+(** Member by slot.  Direct device access is safe only under
+    [shards = 1] (see above).
+    @raise Invalid_argument for a removed slot. *)
 
 val devices : t -> (int * Lb.Device.t) list
 (** Live [(slot, device)] pairs. *)
 
-type conn_ref = { member : Lb.Device.t; conn : Lb.Conn.t }
+val lookahead : t -> Engine.Sim_time.t
+(** The cross-process message latency / synchronization round width. *)
+
+type conn_ref = {
+  cluster : t;
+  slot : int;  (** member slot the connection landed on *)
+  member : Lb.Device.t;
+  conn : Lb.Conn.t;
+}
 (** A cluster-level connection handle: the member device that accepted
     it plus the connection itself. *)
 
@@ -44,34 +86,65 @@ type events = {
   reset : conn_ref -> unit;
   dispatch_failed : unit -> unit;
 }
+(** Control-side connection callbacks.  They fire one [lookahead]
+    after the device-side event (the marshalling latency back to the
+    control process). *)
 
 val null_events : events
 
 val connect : t -> tenant:int -> events:events -> unit
 (** L4 spread: pick an in-rotation member pseudo-randomly and dispatch
-    through it.  Fails the connect when nothing is in rotation. *)
+    through it one [lookahead] later.  An empty rotation is a
+    control-plane fact: [dispatch_failed] fires synchronously, before
+    any cross-process hop. *)
 
-val send : conn_ref -> Lb.Request.t -> bool
+val send : conn_ref -> Lb.Request.t -> unit
+(** Deliver a request on the connection one [lookahead] later (fire
+    and forget — a request refused device-side, e.g. after a crash,
+    surfaces as a missing [request_done], not a return value). *)
+
 val close : conn_ref -> unit
+
+val run_on : t -> slot:int -> (Lb.Device.t -> unit) -> unit
+(** Run an arbitrary action against a member {e on the member's own
+    process}, one [lookahead] from now — the cross-shard form of
+    direct device access, safe under any shard count.  Fault
+    injections use this: [run_on cluster ~slot (fun dev ->
+    Faults.Inject.arm ~device:dev ~plan)] arms the plan on the
+    member's simulator.  The action is dropped (with the member) if
+    the slot is removed before delivery.
+    @raise Invalid_argument if the slot is already removed. *)
+
 val fresh_id : t -> int
-(** Cluster-wide request-id allocator. *)
+(** Cluster-wide request-id allocator (per-cluster counter). *)
 
 val add_device : t -> mode:Lb.Device.mode -> ?workers:int -> unit -> int
-(** Bring up a new member (e.g. the new software version); returns its
-    slot. *)
+(** Bring up a new member (e.g. the new software version) at the
+    fleet's current horizon; returns its slot. *)
 
 val drain_device : t -> int -> unit
 (** Take a member out of rotation; its established connections keep
-    being served until they close. *)
+    being served until they close.
+    @raise Invalid_argument for a removed slot. *)
 
 val live_conns : t -> int -> int
-(** Established connections still on a member. *)
+(** Established connections still on a member, as of the last
+    synchronization round. *)
+
+val remove : t -> int -> unit
+(** Remove a member immediately: its counters fold into the cluster
+    aggregates, its trace ring (if any) is retained for
+    {!merged_trace}, and mail still in flight to it is dropped —
+    abandoned along with the removed VM.
+    @raise Invalid_argument if the slot was already removed; removal
+    is not idempotent, so double-removal is a harness bug worth
+    failing loudly on. *)
 
 val remove_when_drained :
   t -> int -> ?poll:Engine.Sim_time.t -> on_removed:(unit -> unit) -> unit ->
   unit
 (** Wait (polling) until the member has no connections, then remove
-    it. *)
+    it.  Calls [on_removed] immediately if the slot is already gone. *)
 
 val rolling_replace :
   t ->
@@ -88,6 +161,22 @@ val rolling_replace :
     the removed VM, like long-lived IoT clients), remove it, continue. *)
 
 val completed : t -> int
-(** Sum of completed requests over live members. *)
+(** Sum of completed requests over members, including removed ones. *)
 
 val dropped : t -> int
+
+val merged_trace : t -> Trace.record list
+(** All members' trace rings (including removed members'), merged in
+    [(time, process id, per-process seq)] order and re-stamped with
+    merge-order sequence numbers — one deterministic stream,
+    byte-identical for every [?shards] value.  Empty unless the
+    cluster was created with [trace_capacity]. *)
+
+val trace_drops : t -> int
+(** Records lost to ring overflow across all members — non-zero means
+    {!merged_trace} is truncated and [trace_capacity] was too small. *)
+
+val shutdown : t -> unit
+(** Stop the synchronization rounds and join the worker-domain pool.
+    Idempotent.  Mandatory for [shards > 1] harnesses that build
+    clusters in a loop. *)

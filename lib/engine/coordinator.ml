@@ -1,0 +1,229 @@
+(* Conservative-synchronization coordinator: horizon rounds over the
+   member shards, with an optional work-stealing domain pool for the
+   run-members step.
+
+   Pool discipline: the calling domain is the sole Chase-Lev owner of
+   every deque — it alone pushes (round-robin, to spread thieves) and
+   only pops its own slot 0; workers take {e every} task via [steal],
+   which is safe against a concurrent owner push by design.  This
+   matters because rounds overlap at the edges: a worker woken for
+   round R can still be sweeping the deques when the caller starts
+   pushing round R+1, and a worker-side [pop] there would be a
+   two-owner race (lost or doubled tasks).  For the same reason the
+   outstanding counter is set {e before} the first push — an
+   early-stolen task must have a count to decrement.
+
+   After its own sweep the caller {e blocks} on a second condition
+   until the outstanding counter hits zero — never busy-waits.  On an
+   oversubscribed machine (domains > cores) a preempted worker can
+   hold the round's last task for a full scheduler quantum; a spinning
+   caller would burn exactly the CPU that worker needs, turning every
+   round into a context-switch storm.  Shard tasks never spawn
+   subtasks, so a worker that finds every deque empty can park for the
+   next round. *)
+
+module Pool = struct
+  type t = {
+    deques : (unit -> unit) Task_deque.t array; (* slot 0 = caller *)
+    mutable workers : unit Domain.t array;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    done_cond : Condition.t; (* round's last task completed *)
+    mutable round : int;
+    mutable stop : bool;
+    remaining : int Atomic.t;
+  }
+
+  let run_task p task =
+    task ();
+    if Atomic.fetch_and_add p.remaining (-1) = 1 then begin
+      (* Last task of the round: wake the caller if it is parked in
+         [run_round].  Taking the mutex orders this signal after the
+         caller's own remaining-check-then-wait. *)
+      Mutex.lock p.mutex;
+      Condition.signal p.done_cond;
+      Mutex.unlock p.mutex
+    end
+
+  (* The caller (slot 0) pops its own deque dry then steals from the
+     rest; workers are pure thieves over every deque, starting at
+     their slot so contention spreads.  Return when a full sweep finds
+     nothing. *)
+  let work p ~slot =
+    let n = Array.length p.deques in
+    let rec own () =
+      if slot = 0 then
+        match Task_deque.pop p.deques.(0) with
+        | Some task ->
+          run_task p task;
+          own ()
+        | None -> sweep 1
+      else sweep 0
+    and sweep i =
+      if i < n then
+        match Task_deque.steal p.deques.((slot + i) mod n) with
+        | Some task ->
+          run_task p task;
+          own ()
+        | None -> sweep (i + 1)
+    in
+    own ()
+
+  let worker_loop p slot =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock p.mutex;
+      while p.round = !seen && not p.stop do
+        Condition.wait p.cond p.mutex
+      done;
+      let stop = p.stop in
+      seen := p.round;
+      Mutex.unlock p.mutex;
+      if stop then running := false else work p ~slot
+    done
+
+  let create ~domains =
+    let deques = Array.init domains (fun _ -> Task_deque.create ()) in
+    let p =
+      {
+        deques;
+        workers = [||];
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        done_cond = Condition.create ();
+        round = 0;
+        stop = false;
+        remaining = Atomic.make 0;
+      }
+    in
+    p.workers <-
+      Array.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop p (i + 1)));
+    p
+
+  let run_round p tasks =
+    let n = Array.length p.deques in
+    (* Count before the first push: a late worker from the previous
+       round can steal a task the instant it lands. *)
+    Atomic.set p.remaining (List.length tasks);
+    List.iteri (fun i task -> Task_deque.push p.deques.(i mod n) task) tasks;
+    Mutex.lock p.mutex;
+    p.round <- p.round + 1;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mutex;
+    (* The caller is pool slot 0. *)
+    work p ~slot:0;
+    (* Every deque is dry but a worker may still be running the
+       round's tail (tasks spawn no subtasks, so there is nothing left
+       to help with): block until the last completion signals. *)
+    Mutex.lock p.mutex;
+    while Atomic.get p.remaining > 0 do
+      Condition.wait p.done_cond p.mutex
+    done;
+    Mutex.unlock p.mutex
+
+  let shutdown p =
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mutex;
+    Array.iter Domain.join p.workers
+end
+
+type t = {
+  control : Shard.t;
+  shards : (int, Shard.t) Hashtbl.t;
+  mutable member_ids : int list; (* ascending *)
+  domains : int;
+  mutable pool : Pool.t option;
+  mutable horizon : Sim_time.t;
+  mutable stopped : bool;
+}
+
+let create ~control ~domains =
+  if domains < 1 then invalid_arg "Coordinator.create: domains must be >= 1";
+  {
+    control;
+    shards = Hashtbl.create 16;
+    member_ids = [];
+    domains;
+    pool = None;
+    horizon = 0;
+    stopped = false;
+  }
+
+let add t shard =
+  let id = Shard.id shard in
+  if id = Shard.id t.control then
+    invalid_arg "Coordinator.add: shard id collides with the control LP";
+  if Hashtbl.mem t.shards id then
+    invalid_arg (Printf.sprintf "Coordinator.add: duplicate shard id %d" id);
+  (* A shard joining mid-run starts at the fleet's horizon, not at 0
+     (no-op when the caller already aligned it before populating it). *)
+  if Sim.now (Shard.sim shard) < t.horizon then Shard.run_to shard ~limit:t.horizon;
+  Hashtbl.replace t.shards id shard;
+  t.member_ids <- List.sort compare (id :: t.member_ids)
+
+let remove t id =
+  Hashtbl.remove t.shards id;
+  t.member_ids <- List.filter (fun i -> i <> id) t.member_ids
+
+let members t = List.map (Hashtbl.find t.shards) t.member_ids
+let find t id = Hashtbl.find_opt t.shards id
+let horizon t = t.horizon
+
+let message_order (a : Shard.message) (b : Shard.message) =
+  match compare a.at b.at with
+  | 0 -> ( match compare a.src b.src with 0 -> compare a.seq b.seq | c -> c)
+  | c -> c
+
+let deliver_sorted t msgs =
+  List.iter
+    (fun (msg : Shard.message) ->
+      let dst =
+        if msg.dst = Shard.id t.control then Some t.control
+        else Hashtbl.find_opt t.shards msg.dst
+      in
+      (* A missing destination was removed since the send: drop. *)
+      match dst with None -> () | Some shard -> Shard.deliver shard msg)
+    (List.sort message_order msgs)
+
+let run_members t ~limit =
+  let members = members t in
+  let parallel = t.domains > 1 && List.length members > 1 in
+  if not parallel then
+    List.iter (fun shard -> Shard.run_to shard ~limit) members
+  else begin
+    let pool =
+      match t.pool with
+      | Some p -> p
+      | None ->
+        let p = Pool.create ~domains:t.domains in
+        t.pool <- Some p;
+        p
+    in
+    Pool.run_round pool
+      (List.map (fun shard () -> Shard.run_to shard ~limit) members)
+  end
+
+let advance t ~horizon =
+  if horizon < t.horizon then
+    invalid_arg
+      (Printf.sprintf "Coordinator.advance: horizon %d is behind %d" horizon
+         t.horizon);
+  deliver_sorted t (Shard.drain_outbox t.control);
+  run_members t ~limit:horizon;
+  t.horizon <- horizon;
+  deliver_sorted t
+    (List.concat_map Shard.drain_outbox (members t))
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    match t.pool with
+    | None -> ()
+    | Some p ->
+      t.pool <- None;
+      Pool.shutdown p
+  end

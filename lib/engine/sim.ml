@@ -19,12 +19,22 @@ type t = {
   mutable seq : int;
   mutable stopping : bool;
   mutable fired : int;
+  mutable shard : int;
 }
 
 let create () =
-  { wheel = Wheel.create (); clock = 0; seq = 0; stopping = false; fired = 0 }
+  {
+    wheel = Wheel.create ();
+    clock = 0;
+    seq = 0;
+    stopping = false;
+    fired = 0;
+    shard = 0;
+  }
 
 let now t = t.clock
+let shard_id t = t.shard
+let set_shard t id = t.shard <- id
 
 let schedule t ~at action =
   if at < t.clock then

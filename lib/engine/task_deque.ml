@@ -1,0 +1,111 @@
+(* Chase–Lev dynamic circular work-stealing deque ("Dynamic Circular
+   Work-Stealing Deque", SPAA 2005), specialised to OCaml 5 atomics.
+
+   Layout: [top] and [bottom] are monotonically growing virtual
+   indices into a circular buffer of capacity [size] (a power of two);
+   element i lives at [arr.(i land (size - 1))].  The owner works at
+   [bottom], thieves compete at [top] with a CAS.
+
+   Why the races are benign:
+
+   - A thief reads the slot at [t] {e before} its CAS on [top].  The
+     read value is only used when the CAS succeeds, and success means
+     [top] was still [t] at that point — so the owner cannot have
+     recycled slot [t land mask] for a later push (that would require
+     [bottom - t >= size], which the capacity check forbids for the
+     buffer the thief read) nor popped it (popping the last element
+     moves [top] by CAS, which would make the thief's CAS fail).
+
+   - The owner grows the buffer by copying [top..bottom) into a fresh
+     array and publishing it with an [Atomic.set] on [buf]; a thief's
+     [Atomic.get buf] therefore sees either the old array (still
+     holding every unclaimed element) or the fully copied new one.
+
+   - The "last element" tie between the owner's [pop] and a thief is
+     resolved by both sides CASing [top]; exactly one wins. *)
+
+type 'a buffer = { mask : int; arr : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Task_deque.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make { mask = cap - 1; arr = Array.make cap None };
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let grow t ~top ~bottom =
+  let old = Atomic.get t.buf in
+  let cap = 2 * (old.mask + 1) in
+  let arr = Array.make cap None in
+  for i = top to bottom - 1 do
+    arr.(i land (cap - 1)) <- old.arr.(i land old.mask)
+  done;
+  Atomic.set t.buf { mask = cap - 1; arr }
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp > buf.mask then begin
+      grow t ~top:tp ~bottom:b;
+      Atomic.get t.buf
+    end
+    else buf
+  in
+  buf.arr.(b land buf.mask) <- Some x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.arr.(b land buf.mask) in
+    if b > tp then begin
+      buf.arr.(b land buf.mask) <- None;
+      x
+    end
+    else begin
+      (* b = tp: last element — race any thief for it via [top] *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        buf.arr.(b land buf.mask) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.arr.(tp land buf.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x
+    else begin
+      Domain.cpu_relax ();
+      steal t
+    end
+  end

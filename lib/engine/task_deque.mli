@@ -1,0 +1,42 @@
+(** Work-stealing task deque (Chase–Lev), SPMC.
+
+    One owner domain pushes and pops at the bottom (LIFO); any number
+    of thief domains steal from the top (FIFO).  The steal path is
+    lock-free: a single [Atomic.compare_and_set] on the top index
+    claims an element, and losers retry.  The buffer is a circular
+    array that the owner grows on demand, so pushes never block and
+    never fail.
+
+    This is the intra-round task layer of {!Coordinator}: each worker
+    domain owns one deque of shard-run tasks, pops its own work and
+    steals from its siblings when it runs dry, so one hot shard's
+    event storm does not serialize the whole round behind a single
+    run queue.
+
+    Every element pushed is returned by exactly one successful [pop]
+    or [steal] — the multi-domain stress test and the model-based
+    qcheck differential in [test/test_engine.ml] pin this contract. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque.  [capacity] (default 64, rounded up to a power of
+    two) is only the initial buffer size; the owner grows it as
+    needed. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add an element at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed remaining element. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest remaining element, or [None] if the
+    deque is (momentarily) empty.  Lock-free; retries internally on
+    CAS conflicts with other thieves or the owner's race for the last
+    element. *)
+
+val size : 'a t -> int
+(** Snapshot of the current element count — exact when quiescent, a
+    momentary approximation under concurrency.  For tests and
+    monitoring. *)

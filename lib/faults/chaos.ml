@@ -78,7 +78,6 @@ let monitor_config_for mode =
     }
 
 let run ?capture ?(plan = default_plan) config =
-  Lb.Worker.reset_synthetic_ids ();
   let sim = Sim.create () in
   let rng = Engine.Rng.create config.seed in
   let device_rng = Engine.Rng.split rng in

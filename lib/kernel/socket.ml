@@ -17,13 +17,18 @@ type t = {
   mutable closed : bool;
 }
 
-let next_id = ref 0
+(* Fallback allocator only; callers that care about determinism
+   across simulation shards (Lb.Device) pass their own [?id] so no
+   cross-domain shared counter is involved. *)
+let next_id = Atomic.make 0
 
-let create_listen ~port ~backlog =
+let create_listen ?id ~port ~backlog () =
   if backlog <= 0 then invalid_arg "Socket.create_listen: backlog must be positive";
-  incr next_id;
+  let sock_id =
+    match id with Some i -> i | None -> Atomic.fetch_and_add next_id 1 + 1
+  in
   {
-    sock_id = !next_id;
+    sock_id;
     listen_port = port;
     backlog;
     queue = Queue.create ();

@@ -18,13 +18,19 @@ type pending_conn = {
 
 type t
 
-val create_listen : port:Netsim.Addr.port -> backlog:int -> t
+val create_listen : ?id:int -> port:Netsim.Addr.port -> backlog:int -> unit -> t
 (** [backlog] bounds the accept queue, like [listen(2)]'s argument;
-    overflowing connections are dropped (SYN drop => client timeout). *)
+    overflowing connections are dropped (SYN drop => client timeout).
+    [id] names the socket explicitly; without it a process-wide atomic
+    counter allocates one.  Devices pass their own per-instance ids so
+    socket numbering is a function of one device's creation order
+    alone — independent of how devices interleave across simulation
+    shards and domains. *)
 
 val id : t -> int
-(** Process-wide unique socket id (think inode number); lets callers
-    key tables by socket. *)
+(** Unique socket id (think inode number); lets callers key tables by
+    socket.  Unique process-wide when self-allocated, per-namespace
+    when the creator passed [?id]. *)
 
 val port : t -> Netsim.Addr.port
 

@@ -60,6 +60,7 @@ type t = {
   mutable next_seq : int;
   mutable next_fd : int;
   mutable next_id : int;
+  mutable next_sock : int;  (* per-device socket ids: shard-independent *)
   lat : Stats.Histogram.t;
   estab_lat : Stats.Histogram.t;
   mutable completed_count : int;
@@ -88,6 +89,10 @@ let hermes_runtime t = t.hermes_rt
 let fresh_id t =
   t.next_id <- t.next_id + 1;
   t.next_id
+
+let fresh_sock_id t =
+  t.next_sock <- t.next_sock + 1;
+  t.next_sock
 
 let alloc_fd t () =
   t.next_fd <- t.next_fd + 1;
@@ -152,7 +157,9 @@ let is_shared = function
   | Reuseport | Hermes _ -> false
 
 let bind_dedicated t ~port ~group ~sockarray ~worker_id =
-  let sock = Kernel.Socket.create_listen ~port ~backlog:t.backlog in
+  let sock =
+    Kernel.Socket.create_listen ~id:(fresh_sock_id t) ~port ~backlog:t.backlog ()
+  in
   Kernel.Reuseport.bind group ~slot:worker_id ~socket:sock;
   Kernel.Ebpf_maps.Sockarray.set sockarray worker_id sock;
   let fd = Worker.listen_dedicated t.workers_arr.(worker_id) ~socket:sock in
@@ -198,6 +205,7 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
       next_seq = 0;
       next_fd = 0;
       next_id = 0;
+      next_sock = 0;
       lat = Stats.Histogram.create ();
       estab_lat = Stats.Histogram.create ();
       completed_count = 0;
@@ -233,7 +241,9 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
     (fun port_idx (tn : Netsim.Tenant.t) ->
       let port = tn.dport in
       if is_shared mode then begin
-        let socket = Kernel.Socket.create_listen ~port ~backlog in
+        let socket =
+          Kernel.Socket.create_listen ~id:(fresh_sock_id t) ~port ~backlog ()
+        in
         let wq = Kernel.Waitqueue.create (wq_mode mode) in
         for i = 0 to workers - 1 do
           let w = if stagger_registration then (i + port_idx) mod workers else i in

@@ -63,6 +63,7 @@ type t = {
   conn_table : (int, Conn.t) Hashtbl.t;
   worker_stats : stats;
   mutable state : state;
+  mutable synthetic_seq : int;  (* adopt_conn / fault-carrier conn ids *)
   mutable fault_conn : Conn.t option;  (* carrier for injected stalls *)
   mutable epoch : int;  (* invalidates in-flight continuations on crash *)
   (* CPU accounting: [cpu_committed] counts fully elapsed busy time;
@@ -87,6 +88,11 @@ let create ~sim ~id ~config ~alloc_fd ~callbacks ?hermes () =
       hermes;
       listen_socks = Hashtbl.create 16;
       conn_table = Hashtbl.create 1024;
+      (* Per-worker band of a billion-based id space: ids stay unique
+         within a device and depend only on (worker, adoption order),
+         never on cross-worker or cross-device interleaving — the
+         sharded cluster's trace-determinism argument needs that. *)
+      synthetic_seq = 1_000_000_000 + (id * 1_000_000);
       worker_stats =
         {
           events_per_wait = Stats.Histogram.create ();
@@ -392,23 +398,26 @@ let start t =
     loop_enter t ~woken:false
   | Blocked _ | Waking | Running | Crashed -> ()
 
-let synthetic_seq = ref 1_000_000_000
-let reset_synthetic_ids () = synthetic_seq := 1_000_000_000
+let reset_synthetic_ids () = ()
+
+let fresh_synthetic_id t =
+  t.synthetic_seq <- t.synthetic_seq + 1;
+  t.synthetic_seq
 
 let adopt_conn t ~tenant_id =
   if t.state = Crashed then invalid_arg "Worker.adopt_conn: worker crashed";
-  incr synthetic_seq;
+  let id = fresh_synthetic_id t in
   let tuple =
     {
       Netsim.Addr.src_ip = 0x0A000001;
-      src_port = 40000 + (!synthetic_seq mod 20000);
+      src_port = 40000 + (id mod 20000);
       dst_ip = 0x0A0000FE;
       dst_port = 0;
     }
   in
   let conn_fd = t.alloc_fd () in
   let conn =
-    Conn.make ~id:!synthetic_seq ~fd:conn_fd ~tuple ~tenant_id
+    Conn.make ~id ~fd:conn_fd ~tuple ~tenant_id
       ~worker_id:t.worker_id ~established:(Sim.now t.sim)
   in
   Hashtbl.replace t.conn_table conn_fd conn;
@@ -435,7 +444,7 @@ let fault_conn t =
   match t.fault_conn with
   | Some c when usable c -> c
   | Some _ | None ->
-    incr synthetic_seq;
+    let id = fresh_synthetic_id t in
     let tuple =
       {
         Netsim.Addr.src_ip = 0x7F000001;
@@ -446,7 +455,7 @@ let fault_conn t =
     in
     let conn_fd = t.alloc_fd () in
     let conn =
-      Conn.make ~id:!synthetic_seq ~fd:conn_fd ~tuple ~tenant_id:(-1)
+      Conn.make ~id ~fd:conn_fd ~tuple ~tenant_id:(-1)
         ~worker_id:t.worker_id ~established:(Sim.now t.sim)
     in
     Hashtbl.replace t.conn_table conn_fd conn;

@@ -100,11 +100,12 @@ val inject_stall : t -> req_id:int -> cost:Engine.Sim_time.t -> bool
     Returns false (and injects nothing) if the worker is crashed. *)
 
 val reset_synthetic_ids : unit -> unit
-(** Reset the process-wide id counter behind [adopt_conn] and
-    [inject_stall] carriers.  Replay determinism (same plan, same
-    seed, byte-identical trace) needs every id in the trace to restart
-    from the same origin; the chaos harness calls this once per run,
-    next to [Trace.install]'s own sequence reset. *)
+(** No-op, kept for compatibility.  The id counter behind
+    [adopt_conn] and [inject_stall] carriers is per-worker now (each
+    worker owns a disjoint band of the 1e9-based id space), so a fresh
+    device starts from the same ids with nothing to reset — and
+    workers on different simulation shards allocate ids with no shared
+    state, which the sharded cluster's determinism proof relies on. *)
 
 val conns : t -> Conn.t list
 val conn_count : t -> int

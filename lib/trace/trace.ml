@@ -34,35 +34,78 @@ type record = { seq : int; time : int; event : event }
 type sink = { write : record -> unit; close : unit -> unit }
 
 (* ------------------------------------------------------------------ *)
-(* Global recorder state (tracepoint style: one process-wide sink)      *)
+(* Recorder state (tracepoint style: one sink per execution context)    *)
 
-let active : sink option ref = ref None
-let seq_counter = ref 0
-let clock = ref 0
+(* The recorder state is domain-local rather than a plain global so
+   that simulation shards running on different OCaml domains record
+   into disjoint sinks without synchronisation; [swap_state] further
+   lets one domain multiplex several logical shards (each owning its
+   own sink, sequence counter and clock) over the same domain-local
+   slot.  Single-domain programs see exactly the old one-global-sink
+   behaviour. *)
 
-let enabled () = match !active with None -> false | Some _ -> true
-let set_now t = clock := t
-let now () = !clock
+type state = {
+  mutable active : sink option;
+  mutable seq_counter : int;
+  mutable clock : int;
+}
+
+let fresh_state () = { active = None; seq_counter = 0; clock = 0 }
+let state_key = Domain.DLS.new_key fresh_state
+let st () = Domain.DLS.get state_key
+
+(* Process-wide count of states holding a live sink.  [enabled],
+   [set_now] and [emit] sit on per-select / per-event hot paths where
+   the domain-local lookup alone costs a few ns; when nothing in the
+   whole process is tracing (every benchmark fast path), this gate
+   reduces them to one atomic load.  The count is conservative: a
+   shard state whose ring outlives its shard keeps it positive, which
+   only means those processes keep paying the domain-local lookup —
+   never that a record is lost. *)
+let active_sinks = Atomic.make 0
+
+let make_state sink =
+  (match sink with None -> () | Some _ -> Atomic.incr active_sinks);
+  { active = sink; seq_counter = 0; clock = 0 }
+
+let swap_state s =
+  let cur = Domain.DLS.get state_key in
+  Domain.DLS.set state_key s;
+  cur
+
+let enabled () =
+  Atomic.get active_sinks > 0
+  && match (st ()).active with None -> false | Some _ -> true
+
+let set_now t = if Atomic.get active_sinks > 0 then (st ()).clock <- t
+let now () = (st ()).clock
 
 let emit ev =
-  match !active with
-  | None -> ()
-  | Some s ->
-    s.write { seq = !seq_counter; time = !clock; event = ev };
-    incr seq_counter
+  if Atomic.get active_sinks > 0 then begin
+    let s = st () in
+    match s.active with
+    | None -> ()
+    | Some sink ->
+      sink.write { seq = s.seq_counter; time = s.clock; event = ev };
+      s.seq_counter <- s.seq_counter + 1
+  end
 
 let uninstall () =
-  match !active with
+  let s = st () in
+  match s.active with
   | None -> ()
-  | Some s ->
-    active := None;
-    s.close ()
+  | Some sink ->
+    s.active <- None;
+    Atomic.decr active_sinks;
+    sink.close ()
 
-let install s =
+let install sink =
   uninstall ();
-  seq_counter := 0;
-  clock := 0;
-  active := Some s
+  let s = st () in
+  s.seq_counter <- 0;
+  s.clock <- 0;
+  s.active <- Some sink;
+  Atomic.incr active_sinks
 
 let with_sink s f =
   install s;

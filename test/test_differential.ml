@@ -61,7 +61,7 @@ let make_prog ~bitmap ~min_selected =
   Kernel.Ebpf_maps.Array_map.kernel_update m_sel 0 bitmap;
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:64 in
   let socks =
-    Array.init 64 (fun _ -> Kernel.Socket.create_listen ~port:80 ~backlog:1)
+    Array.init 64 (fun _ -> Kernel.Socket.create_listen ~port:80 ~backlog:1 ())
   in
   Array.iteri (fun i s -> Kernel.Ebpf_maps.Sockarray.set m_socket i s) socks;
   (Hermes.Dispatch.single_group ~m_sel ~m_socket ~min_selected, socks)

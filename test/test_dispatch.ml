@@ -142,7 +142,7 @@ let test_read_into_matches_read_all () =
 
 let fresh_group slots =
   let g = Kernel.Reuseport.create ~port:80 ~slots in
-  let socks = Array.init slots (fun _ -> Kernel.Socket.create_listen ~port:80 ~backlog:4) in
+  let socks = Array.init slots (fun _ -> Kernel.Socket.create_listen ~port:80 ~backlog:4 ()) in
   (g, socks)
 
 (* Reference semantics: the pre-rank-select implementation built the

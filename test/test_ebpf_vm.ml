@@ -29,7 +29,7 @@ let test_vm_fallback_drop () =
 
 let test_vm_select () =
   let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:4 in
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Kernel.Ebpf_maps.Sockarray.set sa 2 sock;
   (match
      run_prog
@@ -55,7 +55,7 @@ let test_vm_dispatch_program () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"M_sock" ~size:8 in
   let socks =
     Array.init 8 (fun i ->
-        let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+        let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
         Kernel.Ebpf_maps.Sockarray.set m_socket i s;
         s)
   in
@@ -93,7 +93,7 @@ let test_vm_two_level_program_compiles () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"ms" ~size:8 in
   for i = 0 to 7 do
     Kernel.Ebpf_maps.Sockarray.set m_socket i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:1)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:1 ())
   done;
   let prog = Hermes.Groups.make_prog g ~m_socket ~min_selected:2 in
   match Kernel.Verifier.compile_and_verify prog with
@@ -217,7 +217,7 @@ let shared_sockarray =
   for i = 0 to 6 do
     (* slot 7 deliberately empty so Select can fault *)
     Kernel.Ebpf_maps.Sockarray.set sa i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:1)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:1 ())
   done;
   sa
 

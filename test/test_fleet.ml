@@ -138,6 +138,104 @@ let test_cluster_empty_rotation_fails () =
       };
   check Alcotest.bool "nothing in rotation" true !failed
 
+let test_cluster_drain_last_in_rotation () =
+  let cluster, sim = make_cluster ~devices:2 () in
+  (* park a connection on the fleet so draining doesn't empty it *)
+  let parked = ref None in
+  open_one cluster ~on_established:(fun h -> parked := Some h);
+  Engine.Sim.run_until sim ~limit:(ms 50);
+  check Alcotest.bool "conn parked" true (!parked <> None);
+  Cluster.Lb_cluster.drain_device cluster 0;
+  Cluster.Lb_cluster.drain_device cluster 1;
+  check Alcotest.int "nothing in rotation" 0
+    (Cluster.Lb_cluster.in_rotation cluster);
+  (* the L4 tier knows synchronously that the rotation is empty *)
+  let failed = ref false in
+  Cluster.Lb_cluster.connect cluster ~tenant:0
+    ~events:
+      {
+        Cluster.Lb_cluster.null_events with
+        dispatch_failed = (fun () -> failed := true);
+      };
+  check Alcotest.bool "connect refused" true !failed;
+  (* once the parked connection closes, both drained members empty out
+     and can be removed *)
+  (match !parked with Some h -> Cluster.Lb_cluster.close h | None -> ());
+  let removed = ref 0 in
+  Cluster.Lb_cluster.remove_when_drained cluster 0
+    ~on_removed:(fun () -> incr removed)
+    ();
+  Cluster.Lb_cluster.remove_when_drained cluster 1
+    ~on_removed:(fun () -> incr removed)
+    ();
+  Engine.Sim.run_until sim ~limit:(sec 2);
+  check Alcotest.int "both gone eventually" 2 !removed;
+  check Alcotest.int "fleet empty" 0 (Cluster.Lb_cluster.size cluster)
+
+let test_cluster_remove_twice_raises () =
+  let cluster, sim = make_cluster ~devices:2 () in
+  Engine.Sim.run_until sim ~limit:(ms 10);
+  Cluster.Lb_cluster.remove cluster 0;
+  check Alcotest.int "one left" 1 (Cluster.Lb_cluster.size cluster);
+  (match Cluster.Lb_cluster.remove cluster 0 with
+  | () -> Alcotest.fail "second remove must raise"
+  | exception Invalid_argument _ -> ());
+  (* dependent accessors agree the slot is gone *)
+  (match Cluster.Lb_cluster.device cluster 0 with
+  | _ -> Alcotest.fail "device on removed slot must raise"
+  | exception Invalid_argument _ -> ());
+  match Cluster.Lb_cluster.drain_device cluster 0 with
+  | () -> Alcotest.fail "drain on removed slot must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_cluster_crash_mid_drain () =
+  let cluster, sim = make_cluster ~devices:2 () in
+  let resets = ref 0 in
+  let established = ref 0 in
+  for _ = 1 to 12 do
+    Cluster.Lb_cluster.connect cluster ~tenant:0
+      ~events:
+        {
+          Cluster.Lb_cluster.null_events with
+          established = (fun _ -> incr established);
+          reset = (fun _ -> incr resets);
+        }
+  done;
+  Engine.Sim.run_until sim ~limit:(ms 50);
+  check Alcotest.int "population up" 12 !established;
+  check Alcotest.bool "victim device carries conns" true
+    (Cluster.Lb_cluster.live_conns cluster 0 > 0);
+  Cluster.Lb_cluster.drain_device cluster 0;
+  let removed = ref false in
+  Cluster.Lb_cluster.remove_when_drained cluster 0
+    ~on_removed:(fun () -> removed := true)
+    ();
+  Engine.Sim.run_until sim ~limit:(ms 200);
+  check Alcotest.bool "still draining on live conns" false !removed;
+  (* crash both workers mid-drain through a lib/faults plan, delivered
+     to the member's own shard; the restarting processes reset their
+     surviving connections (draining keeps new ones away), the drain
+     completes, the member leaves *)
+  let plan : Faults.Plan.t =
+    [
+      { Faults.Plan.at = ms 300; action = Faults.Plan.Crash { worker = 0 } };
+      { Faults.Plan.at = ms 301; action = Faults.Plan.Crash { worker = 1 } };
+      { Faults.Plan.at = ms 400; action = Faults.Plan.Recover { worker = 0 } };
+      { Faults.Plan.at = ms 401; action = Faults.Plan.Recover { worker = 1 } };
+    ]
+  in
+  Cluster.Lb_cluster.run_on cluster ~slot:0 (fun dev ->
+      Faults.Inject.arm ~device:dev ~plan);
+  Engine.Sim.run_until sim ~limit:(sec 1);
+  check Alcotest.bool "connections reset by the crash" true (!resets > 0);
+  check Alcotest.bool "drain completed via crash" true !removed;
+  check Alcotest.int "fleet shrank" 1 (Cluster.Lb_cluster.size cluster);
+  (* the survivor still serves *)
+  let ok = ref false in
+  open_one cluster ~on_established:(fun _ -> ok := true);
+  Engine.Sim.run_until sim ~limit:(Engine.Sim_time.add (sec 1) (ms 100));
+  check Alcotest.bool "survivor serves" true !ok
+
 (* ------------------------------------------------------------------ *)
 (* Trace persistence                                                    *)
 
@@ -222,6 +320,11 @@ let () =
           Alcotest.test_case "remove when drained" `Quick test_cluster_remove_when_drained;
           Alcotest.test_case "rolling replace" `Quick test_cluster_rolling_replace;
           Alcotest.test_case "empty rotation" `Quick test_cluster_empty_rotation_fails;
+          Alcotest.test_case "drain last in rotation" `Quick
+            test_cluster_drain_last_in_rotation;
+          Alcotest.test_case "remove twice raises" `Quick
+            test_cluster_remove_twice_raises;
+          Alcotest.test_case "crash mid-drain" `Quick test_cluster_crash_mid_drain;
         ] );
       ( "trace",
         [

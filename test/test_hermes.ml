@@ -196,7 +196,7 @@ let make_dispatch_env ~workers ~bitmap =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"M_sock" ~size:workers in
   let socks =
     Array.init workers (fun i ->
-        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 in
+        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 () in
         Kernel.Ebpf_maps.Sockarray.set m_socket i s;
         s)
   in
@@ -292,7 +292,7 @@ let test_groups_two_level_prog () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"ms" ~size:4 in
   let socks =
     Array.init 4 (fun i ->
-        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 in
+        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 () in
         Kernel.Ebpf_maps.Sockarray.set m_socket i s;
         s)
   in
@@ -324,7 +324,7 @@ let test_groups_dport_locality () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"ms" ~size:4 in
   let socks =
     Array.init 4 (fun i ->
-        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 in
+        let s = Kernel.Socket.create_listen ~port:80 ~backlog:4 () in
         Kernel.Ebpf_maps.Sockarray.set m_socket i s;
         s)
   in

@@ -251,7 +251,7 @@ let test_wq_exclusive_skips_unregistered_ahead () =
 (* Socket                                                               *)
 
 let test_socket_fifo () =
-  let s = Kernel.Socket.create_listen ~port:80 ~backlog:10 in
+  let s = Kernel.Socket.create_listen ~port:80 ~backlog:10 () in
   check Alcotest.bool "queued" true (Kernel.Socket.push s (pending 1) = `Queued);
   check Alcotest.bool "queued" true (Kernel.Socket.push s (pending 2) = `Queued);
   (match Kernel.Socket.accept s with
@@ -261,14 +261,14 @@ let test_socket_fifo () =
   check Alcotest.int "accepted count" 1 (Kernel.Socket.total_accepted s)
 
 let test_socket_backlog_overflow () =
-  let s = Kernel.Socket.create_listen ~port:80 ~backlog:2 in
+  let s = Kernel.Socket.create_listen ~port:80 ~backlog:2 () in
   ignore (Kernel.Socket.push s (pending 1));
   ignore (Kernel.Socket.push s (pending 2));
   check Alcotest.bool "dropped" true (Kernel.Socket.push s (pending 3) = `Dropped);
   check Alcotest.int "drop counted" 1 (Kernel.Socket.total_dropped s)
 
 let test_socket_close_drains () =
-  let s = Kernel.Socket.create_listen ~port:80 ~backlog:10 in
+  let s = Kernel.Socket.create_listen ~port:80 ~backlog:10 () in
   ignore (Kernel.Socket.push s (pending 1));
   ignore (Kernel.Socket.push s (pending 2));
   let orphans = Kernel.Socket.close s in
@@ -279,8 +279,8 @@ let test_socket_close_drains () =
   check Alcotest.bool "accept empty" true (Kernel.Socket.accept s = None)
 
 let test_socket_unique_ids () =
-  let a = Kernel.Socket.create_listen ~port:1 ~backlog:1 in
-  let b = Kernel.Socket.create_listen ~port:1 ~backlog:1 in
+  let a = Kernel.Socket.create_listen ~port:1 ~backlog:1 () in
+  let b = Kernel.Socket.create_listen ~port:1 ~backlog:1 () in
   check Alcotest.bool "distinct ids" true (Kernel.Socket.id a <> Kernel.Socket.id b)
 
 (* ------------------------------------------------------------------ *)
@@ -316,7 +316,7 @@ let test_epoll_wakeup_callback () =
 
 let test_epoll_dedicated_accept () =
   let ep = Kernel.Epoll.create ~worker_id:0 in
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:8 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:8 () in
   Kernel.Epoll.add_listening ep ~fd:3 ~socket:sock ~shared:false;
   Kernel.Epoll.notify_accept_ready ep ~fd:3;
   Kernel.Epoll.notify_accept_ready ep ~fd:3;
@@ -330,8 +330,8 @@ let test_epoll_dedicated_accept () =
 
 let test_epoll_shared_scan () =
   let ep = Kernel.Epoll.create ~worker_id:0 in
-  let s1 = Kernel.Socket.create_listen ~port:80 ~backlog:8 in
-  let s2 = Kernel.Socket.create_listen ~port:81 ~backlog:8 in
+  let s1 = Kernel.Socket.create_listen ~port:80 ~backlog:8 () in
+  let s2 = Kernel.Socket.create_listen ~port:81 ~backlog:8 () in
   Kernel.Epoll.add_listening ep ~fd:1 ~socket:s1 ~shared:true;
   Kernel.Epoll.add_listening ep ~fd:2 ~socket:s2 ~shared:true;
   ignore (Kernel.Socket.push s2 (pending 9));
@@ -370,7 +370,7 @@ let test_epoll_duplicate_fd () =
 
 let test_epoll_counts () =
   let ep = Kernel.Epoll.create ~worker_id:0 in
-  let s = Kernel.Socket.create_listen ~port:80 ~backlog:8 in
+  let s = Kernel.Socket.create_listen ~port:80 ~backlog:8 () in
   Kernel.Epoll.add_listening ep ~fd:1 ~socket:s ~shared:true;
   Kernel.Epoll.add_conn ep ~fd:2;
   check Alcotest.int "listening" 1 (Kernel.Epoll.listening_count ep);
@@ -394,7 +394,7 @@ let test_array_map () =
 let test_sockarray () =
   let m = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:2 in
   check Alcotest.bool "empty" true (Kernel.Ebpf_maps.Sockarray.get m 0 = None);
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Kernel.Ebpf_maps.Sockarray.set m 1 sock;
   (match Kernel.Ebpf_maps.Sockarray.get m 1 with
   | Some s -> check Alcotest.int "same socket" (Kernel.Socket.id sock) (Kernel.Socket.id s)
@@ -452,7 +452,7 @@ let test_ebpf_basic_outcomes () =
 
 let test_ebpf_select () =
   let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:2 in
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Kernel.Ebpf_maps.Sockarray.set sa 1 sock;
   (match run_ret (Kernel.Ebpf.Select (sa, Kernel.Ebpf.Const 1L)) with
   | Kernel.Ebpf.Selected s ->
@@ -468,7 +468,7 @@ let test_ebpf_select () =
 let test_ebpf_arith () =
   let open Kernel.Ebpf in
   let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:8 in
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Kernel.Ebpf_maps.Sockarray.set sa 5 sock;
   (* (2 + 3) selects slot 5 *)
   (match run_ret (Select (sa, Add (Const 2L, Const 3L))) with
@@ -488,7 +488,7 @@ let test_ebpf_arith () =
 let test_ebpf_let_scoping () =
   let open Kernel.Ebpf in
   let sa = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:8 in
-  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let sock = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Kernel.Ebpf_maps.Sockarray.set sa 6 sock;
   (* let x = 2 in let x = x * 3 via Add -> shadowing works *)
   let body =
@@ -547,7 +547,7 @@ let make_group n =
   let g = Kernel.Reuseport.create ~port:80 ~slots:n in
   let socks =
     Array.init n (fun i ->
-        let s = Kernel.Socket.create_listen ~port:80 ~backlog:8 in
+        let s = Kernel.Socket.create_listen ~port:80 ~backlog:8 () in
         Kernel.Reuseport.bind g ~slot:i ~socket:s;
         s)
   in
@@ -632,10 +632,10 @@ let test_reuseport_prog_drop () =
 
 let test_reuseport_bind_errors () =
   let g, _ = make_group 2 in
-  let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+  let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
   Alcotest.check_raises "slot taken" (Invalid_argument "Reuseport.bind: slot taken")
     (fun () -> Kernel.Reuseport.bind g ~slot:0 ~socket:s);
-  let wrong = Kernel.Socket.create_listen ~port:81 ~backlog:1 in
+  let wrong = Kernel.Socket.create_listen ~port:81 ~backlog:1 () in
   let g2 = Kernel.Reuseport.create ~port:80 ~slots:2 in
   Alcotest.check_raises "port mismatch"
     (Invalid_argument "Reuseport.bind: socket port differs from group port")

@@ -246,7 +246,7 @@ let prop_dispatch_matches_reference =
       let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"s" ~size:24 in
       let socks =
         Array.init 24 (fun i ->
-            let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 in
+            let s = Kernel.Socket.create_listen ~port:80 ~backlog:1 () in
             Kernel.Ebpf_maps.Sockarray.set m_socket i s;
             s)
       in

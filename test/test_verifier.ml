@@ -288,7 +288,7 @@ let qsa =
   for i = 0 to 5 do
     (* slots 6-7 empty so Sk_select can fault at runtime *)
     Kernel.Ebpf_maps.Sockarray.set sa i
-      (Kernel.Socket.create_listen ~port:80 ~backlog:1)
+      (Kernel.Socket.create_listen ~port:80 ~backlog:1 ())
   done;
   sa
 
