@@ -145,7 +145,16 @@ let verify_cmd =
         two_level 128 64 Hermes.Groups.By_dst_port;
       ]
   in
-  let run dump plan_file plan_workers =
+  let src_root_arg =
+    let doc =
+      "Repo root for the concurrency source lint (raw Atomic/Mutex/\
+       Condition uses in lib/engine and lib/trace outside the \
+       Mcheck_shim functor convention); skipped with a warning when the \
+       sources are not present (installed binary)."
+    in
+    Arg.(value & opt string "." & info [ "src-root" ] ~docv:"DIR" ~doc)
+  in
+  let run dump plan_file plan_workers src_root =
     let failures = ref [] in
     Printf.printf "%-24s %6s %8s %8s %7s %9s  %s\n" "program" "insns"
       "backjmp" "visited" "proved" "residual" "verdict";
@@ -201,6 +210,21 @@ let verify_cmd =
               problems;
             failures := name :: !failures))
       plans;
+    (match Mcheck.Src_lint.scan_tree ~root:src_root with
+    | Error msg ->
+      Printf.printf "%-24s skipped: %s\n" "concurrency lint" msg
+    | Ok [] ->
+      Printf.printf "%-24s ok (lib/engine and lib/trace are shim-clean)\n"
+        "concurrency lint"
+    | Ok violations ->
+      List.iter
+        (fun (v : Mcheck.Src_lint.violation) ->
+          Printf.printf
+            "%-24s %s:%d raw %s (route it through Mcheck_shim.PRIM)\n\
+            \                           | %s\n"
+            "concurrency lint" v.file v.line v.token v.context)
+        violations;
+      failures := "concurrency lint" :: !failures);
     match !failures with
     | [] -> `Ok ()
     | fs ->
@@ -211,14 +235,16 @@ let verify_cmd =
   in
   let doc =
     "Verify every shipped dispatch program with the abstract \
-     interpreter, and lint fault plans against the device shape; fail \
-     unless each program is accepted loop-free with a complete \
-     certificate (zero residual runtime checks) and each plan is \
-     well-formed."
+     interpreter, lint fault plans against the device shape, and lint \
+     the engine/trace sources for concurrency primitives that bypass \
+     the model-check shim; fail unless each program is accepted \
+     loop-free with a complete certificate (zero residual runtime \
+     checks), each plan is well-formed, and the sources are \
+     shim-clean."
   in
   Cmd.v
     (Cmd.info "verify" ~doc)
-    Term.(ret (const run $ dump_flag $ plan_arg $ plan_workers_arg))
+    Term.(ret (const run $ dump_flag $ plan_arg $ plan_workers_arg $ src_root_arg))
 
 let all_cmd =
   let run quick trace =
@@ -538,10 +564,240 @@ let cluster_cmd =
        $ duration_arg $ conns_arg $ reqs_arg $ lookahead_arg $ mode_arg
        $ plan_arg $ trace_arg))
 
+(* Systematic concurrency checking of the engine internals: explore
+   every non-equivalent interleaving of the Task_deque / Coordinator
+   pool / Trace publication harnesses under the DPOR scheduler. *)
+let mcheck_cmd =
+  let scenario_arg =
+    let doc =
+      "Run only the named scenario (repeatable); all otherwise.  See the \
+       run output for names."
+    in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let seeded_flag =
+    let doc =
+      "Also run the seeded-bug scenarios (historical orderings \
+       deliberately re-introduced behind a flag); those $(b,pass) only \
+       when the checker finds their counterexample, gating the checker \
+       itself against regressions."
+    in
+    Arg.(value & flag & info [ "seeded" ] ~doc)
+  in
+  let check_flag =
+    let doc =
+      "Gate mode: non-zero exit if any clean scenario has a \
+       counterexample, an undocumented race or an exhausted budget, or \
+       any seeded scenario fails to produce its counterexample."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let max_interleavings_arg =
+    let doc =
+      "Per-scenario exploration budget (executions + sleep-set prunes); \
+       the CI time-box."
+    in
+    Arg.(
+      value
+      & opt int Mcheck.Model.default_config.Mcheck.Model.max_interleavings
+      & info [ "max-interleavings" ] ~docv:"N" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Per-interleaving step budget (livelock cut-off)." in
+    Arg.(
+      value
+      & opt int Mcheck.Model.default_config.Mcheck.Model.max_steps
+      & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let preemption_bound_arg =
+    let doc =
+      "Skip branches needing more than $(docv) preemptions (unbounded \
+       when omitted); a bounded pass is reported in the output."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemption-bound" ] ~docv:"K" ~doc)
+  in
+  let no_dpor_flag =
+    let doc =
+      "Disable the partial-order reduction (exhaustive DFS) — only for \
+       debugging the explorer."
+    in
+    Arg.(value & flag & info [ "no-dpor" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Write per-scenario explored/pruned counts and verdicts to $(docv) \
+       (the CI artifact)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let run scenarios seeded check max_interleavings max_steps preemption_bound
+      no_dpor json_file =
+    let config =
+      {
+        Mcheck.Model.max_interleavings;
+        max_steps;
+        preemption_bound;
+        dpor = not no_dpor;
+      }
+    in
+    let selected =
+      match scenarios with
+      | [] ->
+        List.filter
+          (fun (s : Mcheck.Scenarios.t) -> seeded || not s.bug)
+          Mcheck.Scenarios.all
+      | names -> (
+        match
+          List.filter_map
+            (fun n ->
+              match Mcheck.Scenarios.find n with
+              | Some s -> Some (Ok s)
+              | None -> Some (Error n))
+            names
+          |> List.partition_map (function
+               | Ok s -> Either.Left s
+               | Error n -> Either.Right n)
+        with
+        | sel, [] -> sel
+        | _, unknown ->
+          Printf.eprintf "unknown scenario(s): %s; known: %s\n"
+            (String.concat ", " unknown)
+            (String.concat ", "
+               (List.map
+                  (fun (s : Mcheck.Scenarios.t) -> s.name)
+                  Mcheck.Scenarios.all));
+          [])
+    in
+    if selected = [] then `Error (false, "no scenarios selected")
+    else begin
+      Printf.printf "%-24s %-6s %9s %8s %6s %6s  %s\n" "scenario" "kind"
+        "explored" "pruned" "depth" "races" "verdict";
+      let results =
+        List.map
+          (fun (sc : Mcheck.Scenarios.t) ->
+            let t0 = Unix.gettimeofday () in
+            (* the CLI budget flags override the scenario's own config *)
+            let o = sc.run config in
+            let wall = Unix.gettimeofday () -. t0 in
+            let pass, reason = Mcheck.Scenarios.evaluate sc o in
+            Printf.printf "%-24s %-6s %9d %8d %6d %6d  %s — %s (%.2fs)\n"
+              sc.name
+              (if sc.bug then "seeded" else "clean")
+              o.executions o.prunes o.max_depth (List.length o.races)
+              (if pass then "PASS" else "FAIL")
+              reason wall;
+            List.iter
+              (fun (r : Mcheck.Model.race) ->
+                Printf.printf "  race %-18s %s / %s%s\n" r.loc r.access_a
+                  r.access_b
+                  (if
+                     List.exists
+                       (fun p ->
+                         String.length r.loc >= String.length p
+                         && String.sub r.loc 0 (String.length p) = p)
+                       sc.expected_races
+                   then " (documented benign)"
+                   else " (UNDOCUMENTED)"))
+              o.races;
+            (match o.counterexample with
+            | Some c when (not pass) || not sc.bug ->
+              Printf.printf "  counterexample (%s): %s\n" c.kind c.message;
+              List.iter (fun l -> Printf.printf "    %s\n" l) c.trace
+            | Some c ->
+              Printf.printf "  counterexample (%s): %s (%d-step schedule)\n"
+                c.kind c.message (List.length c.trace)
+            | None -> ());
+            (sc, o, pass, reason, wall))
+          selected
+      in
+      (match json_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc "[\n";
+        List.iteri
+          (fun i ((sc : Mcheck.Scenarios.t), (o : Mcheck.Model.outcome), pass,
+                  reason, wall) ->
+            Printf.fprintf oc
+              "  {\"scenario\": \"%s\", \"seeded\": %b, \"pass\": %b, \
+               \"reason\": \"%s\", \"executions\": %d, \"pruned\": %d, \
+               \"steps\": %d, \"max_depth\": %d, \"races\": %d, \
+               \"counterexample\": %s, \"budget_exhausted\": %b, \
+               \"bounded\": %b, \"wall_s\": %.3f}%s\n"
+              (json_escape sc.name) sc.bug pass (json_escape reason)
+              o.executions o.prunes o.steps_total o.max_depth
+              (List.length o.races)
+              (match o.counterexample with
+              | None -> "null"
+              | Some c -> Printf.sprintf "\"%s\"" (json_escape c.kind))
+              o.budget_exhausted o.bounded wall
+              (if i = List.length results - 1 then "" else ",");
+            ())
+          results;
+        output_string oc "]\n";
+        close_out oc);
+      let failed =
+        List.filter_map
+          (fun ((sc : Mcheck.Scenarios.t), _, pass, _, _) ->
+            if pass then None else Some sc.name)
+          results
+      in
+      match failed with
+      | [] -> `Ok ()
+      | fs ->
+        if check then
+          `Error (false, "mcheck scenarios failed: " ^ String.concat ", " fs)
+        else begin
+          Printf.printf "(failures above; exit 0 without --check)\n";
+          `Ok ()
+        end
+    end
+  in
+  let doc =
+    "Model-check the engine's concurrent internals (work-stealing \
+     deque, coordinator pool, trace publication): explore every \
+     non-equivalent interleaving with dynamic partial-order reduction, \
+     report happens-before races on non-atomic accesses, and print \
+     counterexample schedules for assertion failures, deadlocks and \
+     lost wakeups."
+  in
+  Cmd.v (Cmd.info "mcheck" ~doc)
+    Term.(
+      ret
+        (const run $ scenario_arg $ seeded_flag $ check_flag
+       $ max_interleavings_arg $ max_steps_arg $ preemption_bound_arg
+       $ no_dpor_flag $ json_arg))
+
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in
   let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ list_cmd; run_cmd; all_cmd; cluster_cmd; chaos_cmd; disasm_cmd; verify_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      all_cmd;
+      cluster_cmd;
+      chaos_cmd;
+      disasm_cmd;
+      verify_cmd;
+      mcheck_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

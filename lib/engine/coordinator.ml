@@ -13,6 +13,15 @@
    outstanding counter is set {e before} the first push — an
    early-stolen task must have a count to decrement.
 
+   Both rules are now machine-checked, not just argued: the pool is a
+   functor over {!Mcheck_shim.PRIM}, and the [pool_*] harnesses in
+   [Mcheck.Scenarios] explore every non-equivalent interleaving of a
+   bounded round (round-completion signal vs [run_round]'s wait,
+   shutdown broadcast vs parked workers).  [?seeded_bug] deliberately
+   re-introduces the two historical orderings that PR 6's stress
+   tests caught — worker-side [pop] and count-after-push — so CI can
+   prove the checker still finds them ([hermes_sim mcheck --seeded]).
+
    After its own sweep the caller {e blocks} on a second condition
    until the outstanding counter hits zero — never busy-waits.  On an
    oversubscribed machine (domains > cores) a preempted worker can
@@ -22,27 +31,32 @@
    subtasks, so a worker that finds every deque empty can park for the
    next round. *)
 
-module Pool = struct
+type seeded_bug = [ `Two_owner_pop | `Count_after_push ]
+
+module Pool_make (P : Mcheck_shim.PRIM) = struct
+  module TD = Task_deque.Make (P)
+
   type t = {
-    deques : (unit -> unit) Task_deque.t array; (* slot 0 = caller *)
-    mutable workers : unit Domain.t array;
-    mutex : Mutex.t;
-    cond : Condition.t;
-    done_cond : Condition.t; (* round's last task completed *)
-    mutable round : int;
-    mutable stop : bool;
-    remaining : int Atomic.t;
+    deques : (unit -> unit) TD.t array; (* slot 0 = caller *)
+    mutable workers : P.Thread.t array;
+    mutex : P.Mutex.t;
+    cond : P.Condition.t;
+    done_cond : P.Condition.t; (* round's last task completed *)
+    round : int P.Plain.t;
+    stop : bool P.Plain.t;
+    remaining : int P.Atomic.t;
+    bug : seeded_bug option;
   }
 
   let run_task p task =
     task ();
-    if Atomic.fetch_and_add p.remaining (-1) = 1 then begin
+    if P.Atomic.fetch_and_add p.remaining (-1) = 1 then begin
       (* Last task of the round: wake the caller if it is parked in
          [run_round].  Taking the mutex orders this signal after the
          caller's own remaining-check-then-wait. *)
-      Mutex.lock p.mutex;
-      Condition.signal p.done_cond;
-      Mutex.unlock p.mutex
+      P.Mutex.lock p.mutex;
+      P.Condition.signal p.done_cond;
+      P.Mutex.unlock p.mutex
     end
 
   (* The caller (slot 0) pops its own deque dry then steals from the
@@ -51,9 +65,15 @@ module Pool = struct
      nothing. *)
   let work p ~slot =
     let n = Array.length p.deques in
+    (* Workers must never [pop]: the caller is the sole owner of every
+       deque.  [`Two_owner_pop] re-introduces the historical bug for
+       the model-check regression gate. *)
+    let take d =
+      if slot <> 0 && p.bug = Some `Two_owner_pop then TD.pop d else TD.steal d
+    in
     let rec own () =
       if slot = 0 then
-        match Task_deque.pop p.deques.(0) with
+        match TD.pop p.deques.(0) with
         | Some task ->
           run_task p task;
           own ()
@@ -61,7 +81,7 @@ module Pool = struct
       else sweep 0
     and sweep i =
       if i < n then
-        match Task_deque.steal p.deques.((slot + i) mod n) with
+        match take p.deques.((slot + i) mod n) with
         | Some task ->
           run_task p task;
           own ()
@@ -73,63 +93,84 @@ module Pool = struct
     let seen = ref 0 in
     let running = ref true in
     while !running do
-      Mutex.lock p.mutex;
-      while p.round = !seen && not p.stop do
-        Condition.wait p.cond p.mutex
+      P.Mutex.lock p.mutex;
+      while P.Plain.get p.round = !seen && not (P.Plain.get p.stop) do
+        P.Condition.wait p.cond p.mutex
       done;
-      let stop = p.stop in
-      seen := p.round;
-      Mutex.unlock p.mutex;
+      let stop = P.Plain.get p.stop in
+      seen := P.Plain.get p.round;
+      P.Mutex.unlock p.mutex;
       if stop then running := false else work p ~slot
     done
 
-  let create ~domains =
-    let deques = Array.init domains (fun _ -> Task_deque.create ()) in
+  let create ?seeded_bug ~domains () =
+    let deques =
+      Array.init domains (fun i ->
+          TD.create
+            ~check_owner:(seeded_bug = None)
+            ~name:(Printf.sprintf "deque%d" i)
+            ())
+    in
     let p =
       {
         deques;
         workers = [||];
-        mutex = Mutex.create ();
-        cond = Condition.create ();
-        done_cond = Condition.create ();
-        round = 0;
-        stop = false;
-        remaining = Atomic.make 0;
+        mutex = P.Mutex.create ~name:"pool.mutex" ();
+        cond = P.Condition.create ~name:"pool.round_cond" ();
+        done_cond = P.Condition.create ~name:"pool.done_cond" ();
+        round = P.Plain.make ~name:"pool.round" 0;
+        stop = P.Plain.make ~name:"pool.stop" false;
+        remaining = P.Atomic.make ~name:"pool.remaining" 0;
+        bug = seeded_bug;
       }
     in
     p.workers <-
       Array.init (domains - 1) (fun i ->
-          Domain.spawn (fun () -> worker_loop p (i + 1)));
+          P.Thread.spawn
+            ~name:(Printf.sprintf "worker%d" (i + 1))
+            (fun () -> worker_loop p (i + 1)));
     p
 
   let run_round p tasks =
     let n = Array.length p.deques in
+    let count () = P.Atomic.set p.remaining (List.length tasks) in
+    let push_all () =
+      List.iteri (fun i task -> TD.push p.deques.(i mod n) task) tasks
+    in
     (* Count before the first push: a late worker from the previous
-       round can steal a task the instant it lands. *)
-    Atomic.set p.remaining (List.length tasks);
-    List.iteri (fun i task -> Task_deque.push p.deques.(i mod n) task) tasks;
-    Mutex.lock p.mutex;
-    p.round <- p.round + 1;
-    Condition.broadcast p.cond;
-    Mutex.unlock p.mutex;
+       round can steal a task the instant it lands.  [`Count_after_push]
+       inverts the order to re-seed the lost-count bug for mcheck. *)
+    (match p.bug with
+    | Some `Count_after_push ->
+      push_all ();
+      count ()
+    | _ ->
+      count ();
+      push_all ());
+    P.Mutex.lock p.mutex;
+    P.Plain.set p.round (P.Plain.get p.round + 1);
+    P.Condition.broadcast p.cond;
+    P.Mutex.unlock p.mutex;
     (* The caller is pool slot 0. *)
     work p ~slot:0;
     (* Every deque is dry but a worker may still be running the
        round's tail (tasks spawn no subtasks, so there is nothing left
        to help with): block until the last completion signals. *)
-    Mutex.lock p.mutex;
-    while Atomic.get p.remaining > 0 do
-      Condition.wait p.done_cond p.mutex
+    P.Mutex.lock p.mutex;
+    while P.Atomic.get p.remaining > 0 do
+      P.Condition.wait p.done_cond p.mutex
     done;
-    Mutex.unlock p.mutex
+    P.Mutex.unlock p.mutex
 
   let shutdown p =
-    Mutex.lock p.mutex;
-    p.stop <- true;
-    Condition.broadcast p.cond;
-    Mutex.unlock p.mutex;
-    Array.iter Domain.join p.workers
+    P.Mutex.lock p.mutex;
+    P.Plain.set p.stop true;
+    P.Condition.broadcast p.cond;
+    P.Mutex.unlock p.mutex;
+    Array.iter P.Thread.join p.workers
 end
+
+module Pool = Pool_make (Mcheck_shim.Real)
 
 type t = {
   control : Shard.t;
@@ -199,7 +240,7 @@ let run_members t ~limit =
       match t.pool with
       | Some p -> p
       | None ->
-        let p = Pool.create ~domains:t.domains in
+        let p = Pool.create ~domains:t.domains () in
         t.pool <- Some p;
         p
     in

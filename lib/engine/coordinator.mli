@@ -20,6 +20,39 @@
     them the merged trace — do not depend on the domain count or on
     which domain ran which shard. *)
 
+(** Historical orderings the PR 6 stress tests caught, re-seedable so
+    the model-check CI gate can prove the explorer still finds them.
+    Never set in production — [Pool_make] documents the effect of
+    each. *)
+type seeded_bug = [ `Two_owner_pop | `Count_after_push ]
+
+(** The work-stealing domain pool that runs one round's shard tasks,
+    as a functor over the concurrency shim so [Mcheck.Model] can
+    enumerate its interleavings.  The production coordinator below
+    uses [Pool_make (Mcheck_shim.Real)] internally.
+
+    [`Two_owner_pop] makes workers take tasks with the owner-only
+    [pop] instead of [steal] (lost or doubled tasks);
+    [`Count_after_push] publishes the round's tasks before setting the
+    outstanding counter (an early steal drives the counter negative
+    and the round completion is lost).  Both are found as
+    counterexamples by the [pool_*] harnesses in [Mcheck.Scenarios]. *)
+module Pool_make (P : Mcheck_shim.PRIM) : sig
+  type t
+
+  val create : ?seeded_bug:seeded_bug -> domains:int -> unit -> t
+  (** Spawn [domains - 1] worker threads; the creating thread is pool
+      slot 0 and the sole owner of every deque. *)
+
+  val run_round : t -> (unit -> unit) list -> unit
+  (** Execute every task exactly once across the pool; returns only
+      after the last task has completed.  Caller must be the creating
+      thread.  Tasks must not spawn pool subtasks. *)
+
+  val shutdown : t -> unit
+  (** Wake parked workers and join them. *)
+end
+
 type t
 
 val create : control:Shard.t -> domains:int -> t

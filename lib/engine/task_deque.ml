@@ -6,106 +6,187 @@
    element i lives at [arr.(i land (size - 1))].  The owner works at
    [bottom], thieves compete at [top] with a CAS.
 
-   Why the races are benign:
+   The interleaving-level arguments for why each race is benign used
+   to live here as prose; they are now machine-checked.  The code is a
+   functor over {!Mcheck_shim.PRIM}, and the [deque_*] harnesses in
+   [Mcheck.Scenarios] enumerate all non-equivalent interleavings of
+   the hairy schedules (owner-vs-thief last element, grow under
+   concurrent steal, stolen-slot clearing) with the DPOR explorer,
+   checking exactly-once delivery and pinning the expected benign
+   race set.  See DESIGN.md "Memory model & interleaving guarantees"
+   for the claim-to-harness map.  The short version:
 
-   - A thief reads the slot at [t] {e before} its CAS on [top].  The
-     read value is only used when the CAS succeeds, and success means
-     [top] was still [t] at that point — so the owner cannot have
-     recycled slot [t land mask] for a later push (that would require
-     [bottom - t >= size], which the capacity check forbids for the
-     buffer the thief read) nor popped it (popping the last element
-     moves [top] by CAS, which would make the thief's CAS fail).
+   - A thief reads the slot at [t] {e before} its CAS on [top]; the
+     value is only used when the CAS succeeds, which proves the slot
+     could not have been recycled or popped.
 
-   - The owner grows the buffer by copying [top..bottom) into a fresh
-     array and publishing it with an [Atomic.set] on [buf]; a thief's
-     [Atomic.get buf] therefore sees either the old array (still
-     holding every unclaimed element) or the fully copied new one.
+   - [grow] publishes a fully copied buffer with a single atomic
+     store; a thief sees either array, both holding every unclaimed
+     element.
 
-   - The "last element" tie between the owner's [pop] and a thief is
-     resolved by both sides CASing [top]; exactly one wins. *)
+   - The "last element" tie between [pop] and a thief is resolved by
+     both sides CASing [top]; exactly one wins.
 
-type 'a buffer = { mask : int; arr : 'a option array }
+   - The owner clears a slot (writes [None]) only when [top] has
+     already moved past it, so a thief that reads the cleared slot is
+     guaranteed to fail its CAS and discard the value.
 
-type 'a t = {
-  top : int Atomic.t;
-  bottom : int Atomic.t;
-  buf : 'a buffer Atomic.t;
-}
+   Reclamation: thieves never write [arr], so a stolen slot keeps its
+   [Some closure] alive until the owner reclaims it.  The owner clears
+   dead slots in [top .. bottom) order lazily — the last-element pop
+   clears through [top], and an empty [pop] sweeps every slot stolen
+   since the previous sweep — so claimed closures are released no
+   later than the owner's next empty pop (in the {!Coordinator} pool:
+   the end of the round).  [grow] copies only live slots, dropping the
+   old buffer and any dead entries with it. *)
 
-let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+module type S = sig
+  type 'a t
 
-let create ?(capacity = 64) () =
-  if capacity <= 0 then invalid_arg "Task_deque.create: capacity must be positive";
-  let cap = pow2 capacity 1 in
-  {
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-    buf = Atomic.make { mask = cap - 1; arr = Array.make cap None };
+  val create : ?capacity:int -> ?check_owner:bool -> ?name:string -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val size : 'a t -> int
+end
+
+module Make (P : Mcheck_shim.PRIM) = struct
+  type 'a buffer = { mask : int; arr : 'a option P.Array.t }
+
+  type 'a t = {
+    top : int P.Atomic.t;
+    bottom : int P.Atomic.t;
+    buf : 'a buffer P.Atomic.t;
+    owner : int; (* thread that created the deque; sole pusher/popper *)
+    check_owner : bool;
+    cleaned : int P.Plain.t;
+    (* Owner-private: every virtual index below [cleaned] has had its
+       slot reset to [None] (or its physical slot reused by a later
+       push).  Only the owner reads or writes it. *)
+    name : string;
   }
 
-let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
 
-let grow t ~top ~bottom =
-  let old = Atomic.get t.buf in
-  let cap = 2 * (old.mask + 1) in
-  let arr = Array.make cap None in
-  for i = top to bottom - 1 do
-    arr.(i land (cap - 1)) <- old.arr.(i land old.mask)
-  done;
-  Atomic.set t.buf { mask = cap - 1; arr }
+  let create ?(capacity = 64) ?(check_owner = true) ?(name = "deque") () =
+    if capacity <= 0 then
+      invalid_arg "Task_deque.create: capacity must be positive";
+    let cap = pow2 capacity 1 in
+    {
+      top = P.Atomic.make ~name:(name ^ ".top") 0;
+      bottom = P.Atomic.make ~name:(name ^ ".bottom") 0;
+      buf =
+        P.Atomic.make ~name:(name ^ ".buf")
+          { mask = cap - 1; arr = P.Array.make ~name:(name ^ ".arr") cap None };
+      owner = P.Thread.self_id ();
+      check_owner;
+      cleaned = P.Plain.make ~name:(name ^ ".cleaned") 0;
+      name;
+    }
 
-let push t x =
-  let b = Atomic.get t.bottom in
-  let tp = Atomic.get t.top in
-  let buf = Atomic.get t.buf in
-  let buf =
-    if b - tp > buf.mask then begin
-      grow t ~top:tp ~bottom:b;
-      Atomic.get t.buf
+  (* [push]/[pop] are owner-only by contract (the Coordinator pool
+     discipline: the caller alone owns every deque; workers steal).
+     The assertion turns a silent two-owner corruption into an
+     immediate failure; [check_owner:false] is for model-check
+     harnesses that deliberately re-introduce the two-owner bug. *)
+  let assert_owner t =
+    if t.check_owner && P.Thread.self_id () <> t.owner then
+      invalid_arg
+        (Printf.sprintf
+           "Task_deque(%s): push/pop from thread %d but owner is %d \
+            (single-owner contract)"
+           t.name (P.Thread.self_id ()) t.owner)
+
+  let size t = max 0 (P.Atomic.get t.bottom - P.Atomic.get t.top)
+
+  let grow t ~top ~bottom =
+    let old = P.Atomic.get t.buf in
+    let cap = 2 * (old.mask + 1) in
+    let arr = P.Array.make ~name:(t.name ^ ".arr") cap None in
+    for i = top to bottom - 1 do
+      P.Array.set arr (i land (cap - 1)) (P.Array.get old.arr (i land old.mask))
+    done;
+    P.Atomic.set t.buf { mask = cap - 1; arr };
+    (* The fresh buffer holds live slots only: everything below [top]
+       is already reclaimed. *)
+    P.Plain.set t.cleaned top
+
+  (* Owner-side reclamation of stolen slots: clear every dead slot in
+     [cleaned .. upto).  Safe because the caller only passes
+     [upto <= top]: a thief still holding a stale top index [i < top]
+     may read the [None] we write, but its CAS on [top] is then
+     guaranteed to fail, so the value is never used.  Clamped to one
+     buffer turn — older physical slots were already overwritten by
+     the pushes that reused them. *)
+  let sweep_stolen t (buf : _ buffer) ~upto =
+    let c = P.Plain.get t.cleaned in
+    if c < upto then begin
+      let start = if upto - c > buf.mask + 1 then upto - buf.mask - 1 else c in
+      for i = start to upto - 1 do
+        P.Array.set buf.arr (i land buf.mask) None
+      done;
+      P.Plain.set t.cleaned upto
     end
-    else buf
-  in
-  buf.arr.(b land buf.mask) <- Some x;
-  Atomic.set t.bottom (b + 1)
 
-let pop t =
-  let b = Atomic.get t.bottom - 1 in
-  Atomic.set t.bottom b;
-  let tp = Atomic.get t.top in
-  if b < tp then begin
-    (* empty: restore the canonical empty state *)
-    Atomic.set t.bottom tp;
-    None
-  end
-  else begin
-    let buf = Atomic.get t.buf in
-    let x = buf.arr.(b land buf.mask) in
-    if b > tp then begin
-      buf.arr.(b land buf.mask) <- None;
-      x
+  let push t x =
+    assert_owner t;
+    let b = P.Atomic.get t.bottom in
+    let tp = P.Atomic.get t.top in
+    let buf = P.Atomic.get t.buf in
+    let buf =
+      if b - tp > buf.mask then begin
+        grow t ~top:tp ~bottom:b;
+        P.Atomic.get t.buf
+      end
+      else buf
+    in
+    P.Array.set buf.arr (b land buf.mask) (Some x);
+    P.Atomic.set t.bottom (b + 1)
+
+  let pop t =
+    assert_owner t;
+    let b = P.Atomic.get t.bottom - 1 in
+    P.Atomic.set t.bottom b;
+    let tp = P.Atomic.get t.top in
+    if b < tp then begin
+      (* empty: restore the canonical empty state and reclaim every
+         slot stolen since the last sweep *)
+      P.Atomic.set t.bottom tp;
+      sweep_stolen t (P.Atomic.get t.buf) ~upto:tp;
+      None
     end
     else begin
-      (* b = tp: last element — race any thief for it via [top] *)
-      let won = Atomic.compare_and_set t.top tp (tp + 1) in
-      Atomic.set t.bottom (tp + 1);
-      if won then begin
-        buf.arr.(b land buf.mask) <- None;
+      let buf = P.Atomic.get t.buf in
+      let x = P.Array.get buf.arr (b land buf.mask) in
+      if b > tp then begin
+        P.Array.set buf.arr (b land buf.mask) None;
         x
       end
-      else None
+      else begin
+        (* b = tp: last element — race any thief for it via [top] *)
+        let won = P.Atomic.compare_and_set t.top tp (tp + 1) in
+        P.Atomic.set t.bottom (tp + 1);
+        (* Win or lose, [top] is now [tp + 1]: the slot at [tp] is
+           dead either way (we hold the value; or the winning thief
+           already read it before its CAS), so reclaim through it. *)
+        sweep_stolen t buf ~upto:(tp + 1);
+        if won then x else None
+      end
     end
-  end
 
-let rec steal t =
-  let tp = Atomic.get t.top in
-  let b = Atomic.get t.bottom in
-  if tp >= b then None
-  else begin
-    let buf = Atomic.get t.buf in
-    let x = buf.arr.(tp land buf.mask) in
-    if Atomic.compare_and_set t.top tp (tp + 1) then x
+  let rec steal t =
+    let tp = P.Atomic.get t.top in
+    let b = P.Atomic.get t.bottom in
+    if tp >= b then None
     else begin
-      Domain.cpu_relax ();
-      steal t
+      let buf = P.Atomic.get t.buf in
+      let x = P.Array.get buf.arr (tp land buf.mask) in
+      if P.Atomic.compare_and_set t.top tp (tp + 1) then x
+      else begin
+        P.Thread.cpu_relax ();
+        steal t
+      end
     end
-  end
+end
+
+include Make (Mcheck_shim.Real)

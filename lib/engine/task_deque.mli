@@ -1,11 +1,10 @@
 (** Work-stealing task deque (Chase–Lev), SPMC.
 
-    One owner domain pushes and pops at the bottom (LIFO); any number
-    of thief domains steal from the top (FIFO).  The steal path is
-    lock-free: a single [Atomic.compare_and_set] on the top index
-    claims an element, and losers retry.  The buffer is a circular
-    array that the owner grows on demand, so pushes never block and
-    never fail.
+    One owner thread pushes and pops at the bottom (LIFO); any number
+    of thief threads steal from the top (FIFO).  The steal path is
+    lock-free: a single compare-and-set on the top index claims an
+    element, and losers retry.  The buffer is a circular array that
+    the owner grows on demand, so pushes never block and never fail.
 
     This is the intra-round task layer of {!Coordinator}: each worker
     domain owns one deque of shard-run tasks, pops its own work and
@@ -14,29 +13,61 @@
     run queue.
 
     Every element pushed is returned by exactly one successful [pop]
-    or [steal] — the multi-domain stress test and the model-based
-    qcheck differential in [test/test_engine.ml] pin this contract. *)
+    or [steal].  That contract is pinned three ways: the model-based
+    qcheck differential and multi-domain stress in
+    [test/test_engine.ml], and — exhaustively, over every
+    non-equivalent interleaving of the bounded schedules — the
+    [deque_*] harnesses in [Mcheck.Scenarios] (run by
+    [hermes_sim mcheck]).  The implementation is a functor over
+    {!Mcheck_shim.PRIM}; the default instance below runs on the real
+    primitives at unchanged cost. *)
 
-type 'a t
+module type S = sig
+  type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
-(** An empty deque.  [capacity] (default 64, rounded up to a power of
-    two) is only the initial buffer size; the owner grows it as
-    needed. *)
+  val create : ?capacity:int -> ?check_owner:bool -> ?name:string -> unit -> 'a t
+  (** An empty deque owned by the calling thread.  [capacity]
+      (default 64, rounded up to a power of two) is only the initial
+      buffer size; the owner grows it as needed.  [check_owner]
+      (default [true]) makes [push]/[pop] raise [Invalid_argument]
+      when called from any thread other than the creator — the
+      single-owner contract — and exists only so model-check
+      harnesses can re-introduce the two-owner bug deliberately.
+      [name] labels the deque's locations in model-checker
+      counterexamples. *)
 
-val push : 'a t -> 'a -> unit
-(** Owner only: add an element at the bottom. *)
+  val push : 'a t -> 'a -> unit
+  (** Owner only: add an element at the bottom. *)
 
-val pop : 'a t -> 'a option
-(** Owner only: take the most recently pushed remaining element. *)
+  val pop : 'a t -> 'a option
+  (** Owner only: take the most recently pushed remaining element.
+      An empty pop also reclaims (clears) every slot stolen since the
+      last reclamation, releasing the stolen elements for GC. *)
 
-val steal : 'a t -> 'a option
-(** Any domain: take the oldest remaining element, or [None] if the
-    deque is (momentarily) empty.  Lock-free; retries internally on
-    CAS conflicts with other thieves or the owner's race for the last
-    element. *)
+  val steal : 'a t -> 'a option
+  (** Any thread: take the oldest remaining element, or [None] if the
+      deque is (momentarily) empty.  Lock-free; retries internally on
+      CAS conflicts with other thieves or the owner's race for the
+      last element. *)
 
-val size : 'a t -> int
-(** Snapshot of the current element count — exact when quiescent, a
-    momentary approximation under concurrency.  For tests and
-    monitoring. *)
+  val size : 'a t -> int
+  (** Element-count estimate: [bottom - top] from two independent
+      atomic reads.  {b Only quiescently accurate} — exact when no
+      push/pop/steal is in flight, otherwise a momentary approximation
+      that can lag either index.  It is however never an
+      over-estimate of outstanding work against monotone counters
+      sampled around it: with [claimed] read before [size] and
+      [pushed] read after (claims counted after they complete, pushes
+      counted before they start), [size <= pushed - claimed] holds
+      under full concurrency — the [size quiescent bound] qcheck test
+      in [test/test_mcheck.ml] pins this.  For tests and monitoring
+      only; never use it to decide ownership or emptiness. *)
+end
+
+include S
+
+(** [Make (P)] builds the deque over instrumented primitives; the
+    model-check harnesses instantiate it with the DPOR scheduler's
+    shim.  [Make (Mcheck_shim.Real)] is exactly the default instance
+    above. *)
+module Make (P : Mcheck_shim.PRIM) : S

@@ -1,0 +1,884 @@
+(* Systematic concurrency checker in the dscheck style (Kokologiannakis
+   et al. lineage: stateless model checking with dynamic partial-order
+   reduction, Flanagan & Godefroid POPL 2005, plus sleep sets and an
+   optional preemption bound).
+
+   The program under test is ordinary OCaml code written against
+   {!Mcheck_shim.PRIM} and instantiated with the {!P} implementation
+   below.  Every atomic / mutex / condition / thread operation performs
+   an effect carrying a descriptor of the operation (its locations,
+   whether it writes, an enabledness predicate and a state mutation);
+   the one-shot continuation is captured, so the explorer owns the
+   schedule: all "threads" are fibers multiplexed cooperatively on the
+   calling domain, and an interleaving is just the sequence of fibers
+   the driver chooses to advance.  Re-running the (deterministic)
+   program under a different forced schedule prefix enumerates a
+   different interleaving; DPOR computes which prefixes can lead to
+   non-equivalent behaviour, so only one representative per
+   Mazurkiewicz trace is executed (plus sleep-set pruning of the
+   remaining redundancy).
+
+   Two analyses run on top of the exploration:
+
+   - A vector-clock happens-before race detector over {e non-atomic}
+     accesses ([P.Plain] cells and [P.Array] elements).  Plain
+     accesses are not scheduling points — their ordering is determined
+     by the surrounding synchronisation, which the explorer already
+     enumerates exhaustively — so flagging "two conflicting plain
+     accesses unordered by happens-before in some explored
+     interleaving" is a sound race check at a fraction of the state
+     space.  Happens-before here is program order plus the
+     dependent-operation order on atomics (every same-location pair
+     with at least one write), mutex and condvar edges, and
+     spawn/join.
+
+   - Deadlock / lost-wakeup detection: a state where some thread is
+     blocked (mutex, condition wait, join) and no thread is runnable
+     is reported as a counterexample with the full interleaving, which
+     is exactly how a lost [Condition.signal] manifests.
+
+   Model restrictions (documented, checked where cheap): programs must
+   be deterministic given the schedule (no wall clock, no Random);
+   [Condition.signal] wakes the longest-waiting thread (FIFO) rather
+   than an arbitrary one; spurious wakeups are not modelled; at most
+   {!max_threads} fibers. *)
+
+let max_threads = 16
+
+type op = {
+  locs : int list; (* abstract location ids this op touches *)
+  writes : bool; (* false only for pure reads *)
+  descr : string;
+  enabled : unit -> bool;
+  execute : unit -> unit; (* state mutation, applied at schedule time *)
+}
+
+type _ Effect.t += Suspend : op -> unit Effect.t
+
+exception Model_violation of string
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable body : (unit -> unit) option; (* Some until first scheduled *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable pending : op option;
+  mutable finished : bool;
+  mutable steps_done : int;
+  clock : int array; (* vector clock, length max_threads *)
+  mutable woken : bool; (* condvar wakeup flag *)
+}
+
+type plain_access = {
+  a_tid : int;
+  a_ord : int; (* accessor's own clock entry at access time *)
+  a_write : bool;
+  a_who : string;
+}
+
+type race = { loc : string; access_a : string; access_b : string }
+
+type exec = {
+  mutable threads : thread array;
+  mutable nthreads : int;
+  mutable cur : int; (* tid currently running a segment *)
+  mutable next_loc : int;
+  wclocks : (int, int array) Hashtbl.t; (* per-loc writer clock *)
+  rclocks : (int, int array) Hashtbl.t; (* per-loc reader clock *)
+  plains : (int * int, plain_access list ref) Hashtbl.t;
+  mutable exec_races : (string * plain_access * plain_access) list;
+}
+
+exception Thread_failure of int * exn
+
+let cur_exec : exec option ref = ref None
+
+let the_exec what =
+  match !cur_exec with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Mcheck.Model.P.%s used outside Model.check (the shim primitives \
+          only run under the explorer)"
+         what)
+
+let fresh_loc e name =
+  let id = e.next_loc in
+  e.next_loc <- id + 1;
+  ignore name;
+  id
+
+let always () = true
+let noop () = ()
+
+let susp ?(locs = []) ?(writes = true) ?(enabled = always) ?(execute = noop)
+    descr =
+  Effect.perform (Suspend { locs; writes; descr; enabled; execute })
+
+let join_into dst src =
+  for i = 0 to max_threads - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let loc_clock tbl loc =
+  match Hashtbl.find_opt tbl loc with
+  | Some c -> c
+  | None ->
+    let c = Array.make max_threads 0 in
+    Hashtbl.replace tbl loc c;
+    c
+
+(* Non-atomic access recording + happens-before race check.  [prior]
+   happens-before the current access iff the current thread's clock
+   has absorbed prior's epoch.  A plain access in the segment after a
+   thread's k-th scheduling step belongs to epoch k+1: it is only
+   published to other threads by the thread's NEXT release step (whose
+   ord is k+1) — stamping it with k would make it look covered by any
+   edge that absorbed step k (e.g. a spawn immediately before it). *)
+let record_plain e ~obj ~idx ~write ~who ~locname =
+  let t = e.threads.(e.cur) in
+  let key = (obj, idx) in
+  let hist =
+    match Hashtbl.find_opt e.plains key with
+    | Some h -> h
+    | None ->
+      let h = ref [] in
+      Hashtbl.replace e.plains key h;
+      h
+  in
+  let epoch = t.clock.(t.tid) + 1 in
+  List.iter
+    (fun prior ->
+      if
+        prior.a_tid <> t.tid
+        && (prior.a_write || write)
+        && t.clock.(prior.a_tid) < prior.a_ord
+      then
+        e.exec_races <-
+          ( locname,
+            prior,
+            { a_tid = t.tid; a_ord = epoch; a_write = write; a_who = who } )
+          :: e.exec_races)
+    !hist;
+  hist :=
+    { a_tid = t.tid; a_ord = epoch; a_write = write; a_who = who } :: !hist
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler-controlled PRIM implementation                         *)
+
+(* Not sealed here ([register] is driver-internal); the .mli constrains
+   the visible P to Mcheck_shim.PRIM. *)
+module P = struct
+  module Atomic = struct
+    type 'a t = { aid : int; aname : string; mutable av : 'a }
+
+    let make ?(name = "atomic") v =
+      let e = the_exec "Atomic.make" in
+      { aid = fresh_loc e name; aname = name; av = v }
+
+    let get a =
+      susp ~locs:[ a.aid ] ~writes:false (a.aname ^ ".get");
+      a.av
+
+    let set a v =
+      susp ~locs:[ a.aid ] (a.aname ^ ".set");
+      a.av <- v
+
+    let compare_and_set a expect nv =
+      susp ~locs:[ a.aid ] (a.aname ^ ".cas");
+      if a.av == expect then begin
+        a.av <- nv;
+        true
+      end
+      else false
+
+    let fetch_and_add a d =
+      susp ~locs:[ a.aid ] (a.aname ^ ".fetch_and_add");
+      let old = a.av in
+      a.av <- old + d;
+      old
+
+    let incr a = ignore (fetch_and_add a 1)
+    let decr a = ignore (fetch_and_add a (-1))
+  end
+
+  module Plain = struct
+    type 'a t = { pid : int; pname : string; mutable pv : 'a }
+
+    let make ?(name = "plain") v =
+      let e = the_exec "Plain.make" in
+      { pid = fresh_loc e name; pname = name; pv = v }
+
+    let get c =
+      let e = the_exec "Plain.get" in
+      record_plain e ~obj:c.pid ~idx:0 ~write:false
+        ~who:(Printf.sprintf "read by %s" e.threads.(e.cur).tname)
+        ~locname:c.pname;
+      c.pv
+
+    let set c v =
+      let e = the_exec "Plain.set" in
+      record_plain e ~obj:c.pid ~idx:0 ~write:true
+        ~who:(Printf.sprintf "write by %s" e.threads.(e.cur).tname)
+        ~locname:c.pname;
+      c.pv <- v
+  end
+
+  module Array = struct
+    type 'a t = { arid : int; arname : string; marr : 'a array }
+
+    let make ?(name = "array") n v =
+      let e = the_exec "Array.make" in
+      { arid = fresh_loc e name; arname = name; marr = Stdlib.Array.make n v }
+
+    let get a i =
+      let e = the_exec "Array.get" in
+      record_plain e ~obj:a.arid ~idx:i ~write:false
+        ~who:(Printf.sprintf "read by %s" e.threads.(e.cur).tname)
+        ~locname:(Printf.sprintf "%s[%d]" a.arname i);
+      a.marr.(i)
+
+    let set a i v =
+      let e = the_exec "Array.set" in
+      record_plain e ~obj:a.arid ~idx:i ~write:true
+        ~who:(Printf.sprintf "write by %s" e.threads.(e.cur).tname)
+        ~locname:(Printf.sprintf "%s[%d]" a.arname i);
+      a.marr.(i) <- v
+
+    let length a = Stdlib.Array.length a.marr
+  end
+
+  module Mutex = struct
+    type t = { mid : int; mname : string; mutable holder : int }
+
+    let create ?(name = "mutex") () =
+      let e = the_exec "Mutex.create" in
+      { mid = fresh_loc e name; mname = name; holder = -1 }
+
+    let lock m =
+      let e = the_exec "Mutex.lock" in
+      let me = e.cur in
+      susp ~locs:[ m.mid ]
+        ~enabled:(fun () -> m.holder < 0)
+        ~execute:(fun () -> m.holder <- me)
+        (m.mname ^ ".lock")
+
+    let unlock m =
+      let e = the_exec "Mutex.unlock" in
+      let me = e.cur in
+      susp ~locs:[ m.mid ]
+        ~execute:(fun () ->
+          if m.holder <> me then
+            raise
+              (Model_violation
+                 (Printf.sprintf "%s.unlock by T%d but holder is %d" m.mname me
+                    m.holder));
+          m.holder <- -1)
+        (m.mname ^ ".unlock")
+  end
+
+  module Condition = struct
+    type t = { cid : int; cname : string; mutable waiters : int list }
+
+    let create ?(name = "cond") () =
+      let e = the_exec "Condition.create" in
+      { cid = fresh_loc e name; cname = name; waiters = [] }
+
+    (* Two scheduling points so the mutex hand-off is visible to the
+       dependency analysis: the release step parks the thread, the
+       wake step re-acquires.  Between them the thread is disabled
+       until a signal sets its [woken] flag — if that signal never
+       comes, the deadlock detector reports the lost wakeup. *)
+    let wait c (m : Mutex.t) =
+      let e = the_exec "Condition.wait" in
+      let me = e.cur in
+      let t = Stdlib.Array.get e.threads me in
+      susp
+        ~locs:[ c.cid; m.Mutex.mid ]
+        ~execute:(fun () ->
+          if m.Mutex.holder <> me then
+            raise
+              (Model_violation
+                 (Printf.sprintf "%s.wait by T%d without holding %s" c.cname me
+                    m.Mutex.mname));
+          m.Mutex.holder <- -1;
+          c.waiters <- c.waiters @ [ me ])
+        (c.cname ^ ".wait(release " ^ m.Mutex.mname ^ ")");
+      susp
+        ~locs:[ c.cid; m.Mutex.mid ]
+        ~enabled:(fun () -> t.woken && m.Mutex.holder < 0)
+        ~execute:(fun () ->
+          t.woken <- false;
+          m.Mutex.holder <- me)
+        (c.cname ^ ".wake(acquire " ^ m.Mutex.mname ^ ")")
+
+    let signal c =
+      let e = the_exec "Condition.signal" in
+      susp ~locs:[ c.cid ]
+        ~execute:(fun () ->
+          match c.waiters with
+          | [] -> ()
+          | w :: rest ->
+            c.waiters <- rest;
+            (Stdlib.Array.get e.threads w).woken <- true)
+        (c.cname ^ ".signal")
+
+    let broadcast c =
+      let e = the_exec "Condition.broadcast" in
+      susp ~locs:[ c.cid ]
+        ~execute:(fun () ->
+          List.iter
+            (fun w -> (Stdlib.Array.get e.threads w).woken <- true)
+            c.waiters;
+          c.waiters <- [])
+        (c.cname ^ ".broadcast")
+  end
+
+  module Thread = struct
+    type t = { hid : int; h_tid : int }
+
+    let register e name body parent_clock =
+      if e.nthreads >= max_threads then
+        raise (Model_violation "too many threads (max 16)");
+      let tid = e.nthreads in
+      let t =
+        {
+          tid;
+          tname = name;
+          body = Some body;
+          cont = None;
+          pending = None;
+          finished = false;
+          steps_done = 0;
+          clock = Stdlib.Array.make max_threads 0;
+          woken = false;
+        }
+      in
+      join_into t.clock parent_clock;
+      t.pending <-
+        Some
+          {
+            locs = [];
+            writes = false;
+            descr = name ^ ".start";
+            enabled = always;
+            execute = noop;
+          };
+      Stdlib.Array.set e.threads tid t;
+      e.nthreads <- tid + 1;
+      tid
+
+    let spawn ?name f =
+      let e = the_exec "Thread.spawn" in
+      let me = e.cur in
+      let name =
+        match name with Some n -> n | None -> Printf.sprintf "T%d" e.nthreads
+      in
+      let hid = fresh_loc e (name ^ ".handle") in
+      let cell = ref (-1) in
+      susp ~locs:[ hid ]
+        ~execute:(fun () ->
+          cell := register e name f (Stdlib.Array.get e.threads me).clock)
+        ("spawn " ^ name);
+      { hid; h_tid = !cell }
+
+    let join h =
+      let e = the_exec "Thread.join" in
+      let me = e.cur in
+      let target () = Stdlib.Array.get e.threads h.h_tid in
+      susp ~locs:[ h.hid ]
+        ~enabled:(fun () -> (target ()).finished)
+        ~execute:(fun () ->
+          join_into (Stdlib.Array.get e.threads me).clock (target ()).clock)
+        (Printf.sprintf "join %s" (target ()).tname)
+
+    let cpu_relax () = ()
+    let self_id () = (the_exec "Thread.self_id").cur
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* DFS + DPOR driver                                                    *)
+
+type config = {
+  max_interleavings : int;
+  max_steps : int;
+  preemption_bound : int option;
+  dpor : bool; (* false: exhaustive DFS (no reduction) — for differentials *)
+}
+
+let default_config =
+  {
+    max_interleavings = 100_000;
+    max_steps = 2_000;
+    preemption_bound = None;
+    dpor = true;
+  }
+
+type counterexample = { kind : string; message : string; trace : string list }
+
+type outcome = {
+  name : string;
+  executions : int;
+  prunes : int;
+  steps_total : int;
+  max_depth : int;
+  races : race list;
+  counterexample : counterexample option;
+  budget_exhausted : bool;
+  bounded : bool;
+}
+
+type node = {
+  mutable chosen : int;
+  mutable backtrack : int; (* bitmasks over tids *)
+  mutable sleep : int;
+  mutable done_mask : int;
+  mutable enabled_mask : int;
+  mutable preemptions : int;
+  pend_locs : int list array; (* per-tid pending-op summary at this state *)
+  pend_writes : bool array;
+}
+
+let fresh_node () =
+  {
+    chosen = -1;
+    backtrack = 0;
+    sleep = 0;
+    done_mask = 0;
+    enabled_mask = 0;
+    preemptions = 0;
+    pend_locs = Array.make max_threads [];
+    pend_writes = Array.make max_threads false;
+  }
+
+let bit i = 1 lsl i
+
+let intersects l1 l2 = List.exists (fun x -> List.mem x l2) l1
+
+let dependent locs1 w1 locs2 w2 = (w1 || w2) && intersects locs1 locs2
+
+type run_result =
+  | R_terminal
+  | R_sleep_blocked
+  | R_cex of counterexample
+
+type dfs = {
+  cfg : config;
+  mutable nodes : node array;
+  mutable prefix_len : int;
+  (* per-step records of the current run, reused across runs *)
+  step_proc : int array;
+  step_ord : int array;
+  step_locs : int list array;
+  step_writes : bool array;
+  step_descr : string array;
+  mutable last_depth : int;
+  mutable executions : int;
+  mutable prunes : int;
+  mutable steps_total : int;
+  mutable max_depth : int;
+  mutable bounded : bool;
+  race_tbl : (string * string * string, unit) Hashtbl.t;
+  mutable races : race list;
+}
+
+let get_node dfs d =
+  if d >= Array.length dfs.nodes then begin
+    let bigger = Array.init (2 * (d + 1)) (fun _ -> fresh_node ()) in
+    Array.blit dfs.nodes 0 bigger 0 (Array.length dfs.nodes);
+    dfs.nodes <- bigger
+  end;
+  dfs.nodes.(d)
+
+let render_trace dfs depth =
+  List.init depth (fun i ->
+      Printf.sprintf "%3d. %s" (i + 1) dfs.step_descr.(i))
+
+let handler (t : thread) =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        t.finished <- true;
+        (* the final segment (plain accesses after the last scheduling
+           step) lives in epoch steps_done+1; bump the thread's own
+           clock entry so [join] absorbs it *)
+        t.clock.(t.tid) <- t.clock.(t.tid) + 1);
+    exnc = (fun e -> raise (Thread_failure (t.tid, e)));
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Suspend o ->
+          Some
+            (fun (k : (c, unit) Effect.Deep.continuation) ->
+              t.cont <- Some k;
+              t.pending <- Some o)
+        | _ -> None);
+  }
+
+(* Dynamic backtrack-point computation, run for each transition as it
+   is executed: every earlier step by another thread that is dependent
+   with this op and not already happens-before ordered with it (the
+   executing thread's vector clock has not absorbed that step's epoch)
+   is a reversible race — make sure the other order is explored from
+   that step's state.  Taking {e all} such predecessors rather than
+   only the most recent over-approximates the classic persistent set
+   (never unsound, occasionally redundant — the sleep sets absorb the
+   redundancy); restricting to non-happens-before pairs is what makes
+   it "dynamic". *)
+let add_backtrack_points exec dfs d tid (o : op) =
+  if o.locs <> [] then begin
+    let pclk = exec.threads.(tid).clock in
+    for i = d - 1 downto 0 do
+      let q = dfs.step_proc.(i) in
+      if
+        q <> tid
+        && dfs.step_ord.(i) > pclk.(q)
+        && dependent dfs.step_locs.(i) dfs.step_writes.(i) o.locs o.writes
+      then begin
+        let nd = dfs.nodes.(i) in
+        if nd.enabled_mask land bit tid <> 0 then
+          nd.backtrack <- nd.backtrack lor bit tid
+        else nd.backtrack <- nd.backtrack lor nd.enabled_mask
+      end
+    done
+  end
+
+let execute_step exec dfs d tid =
+  let t = exec.threads.(tid) in
+  let o = match t.pending with Some o -> o | None -> assert false in
+  if dfs.cfg.dpor then add_backtrack_points exec dfs d tid o;
+  dfs.step_proc.(d) <- tid;
+  dfs.step_ord.(d) <- t.steps_done + 1;
+  dfs.step_locs.(d) <- o.locs;
+  dfs.step_writes.(d) <- o.writes;
+  dfs.step_descr.(d) <- Printf.sprintf "[%s] %s" t.tname o.descr;
+  t.steps_done <- t.steps_done + 1;
+  t.clock.(tid) <- t.steps_done;
+  List.iter
+    (fun l ->
+      let w = loc_clock exec.wclocks l and r = loc_clock exec.rclocks l in
+      join_into t.clock w;
+      if o.writes then begin
+        join_into t.clock r;
+        join_into w t.clock
+      end
+      else join_into r t.clock)
+    o.locs;
+  o.execute ();
+  t.pending <- None;
+  exec.cur <- tid;
+  match (t.body, t.cont) with
+  | Some f, _ ->
+    t.body <- None;
+    Effect.Deep.match_with f () (handler t)
+  | None, Some k ->
+    t.cont <- None;
+    Effect.Deep.continue k ()
+  | None, None -> assert false
+
+let blocked_report exec =
+  let b = Buffer.create 128 in
+  Array.iteri
+    (fun i t ->
+      if i < exec.nthreads && not t.finished then
+        match t.pending with
+        | Some o -> Buffer.add_string b (Printf.sprintf "%s blocked at %s; " t.tname o.descr)
+        | None -> ())
+    exec.threads;
+  Buffer.contents b
+
+(* One execution: replay the forced prefix, then free-run (preferring
+   the previously scheduled thread to keep context switches, and with
+   them node count, low).  Returns how the run ended and its depth. *)
+let run_one dfs scenario final =
+  let dummy =
+    {
+      tid = -1;
+      tname = "";
+      body = None;
+      cont = None;
+      pending = None;
+      finished = true;
+      steps_done = 0;
+      clock = [||];
+      woken = false;
+    }
+  in
+  let exec =
+    {
+      threads = Array.make max_threads dummy;
+      nthreads = 0;
+      cur = 0;
+      next_loc = 0;
+      wclocks = Hashtbl.create 64;
+      rclocks = Hashtbl.create 64;
+      plains = Hashtbl.create 64;
+      exec_races = [];
+    }
+  in
+  cur_exec := Some exec;
+  ignore (P.Thread.register exec "main" scenario (Array.make max_threads 0));
+  let d = ref 0 in
+  let result = ref R_terminal in
+  (try
+     let running = ref true in
+     while !running do
+       (* snapshot the state: enabled set and pending-op summaries *)
+       let enabled = ref 0 and live = ref 0 in
+       let node = get_node dfs !d in
+       for q = 0 to exec.nthreads - 1 do
+         let t = exec.threads.(q) in
+         if not t.finished then begin
+           incr live;
+           match t.pending with
+           | Some o ->
+             node.pend_locs.(q) <- o.locs;
+             node.pend_writes.(q) <- o.writes;
+             if o.enabled () then enabled := !enabled lor bit q
+           | None -> ()
+         end
+       done;
+       node.enabled_mask <- !enabled;
+       if !live = 0 then begin
+         final ();
+         running := false
+       end
+       else if !enabled = 0 then begin
+         result :=
+           R_cex
+             {
+               kind = "deadlock";
+               message =
+                 "no runnable thread (deadlock or lost wakeup): "
+                 ^ blocked_report exec;
+               trace = render_trace dfs !d;
+             };
+         running := false
+       end
+       else begin
+         (* sleep-set inheritance: a thread sleeping at the parent
+            state stays asleep unless the step just taken is
+            dependent with its pending op *)
+         if !d > 0 && !d >= dfs.prefix_len then begin
+           let parent = dfs.nodes.(!d - 1) in
+           let inherited = ref 0 in
+           if dfs.cfg.dpor then
+             for q = 0 to exec.nthreads - 1 do
+               if
+                 parent.sleep land bit q <> 0
+                 && not
+                      (dependent
+                         dfs.step_locs.(!d - 1)
+                         dfs.step_writes.(!d - 1)
+                         parent.pend_locs.(q) parent.pend_writes.(q))
+               then inherited := !inherited lor bit q
+             done;
+           node.sleep <- !inherited;
+           node.done_mask <- 0;
+           node.backtrack <- 0;
+           node.preemptions <-
+             (parent.preemptions
+             +
+             if
+               !d >= 2
+               && parent.chosen <> dfs.nodes.(!d - 2).chosen
+               && parent.enabled_mask land bit dfs.nodes.(!d - 2).chosen <> 0
+             then 1
+             else 0)
+         end
+         else if !d = 0 && dfs.prefix_len = 0 then begin
+           node.sleep <- 0;
+           node.done_mask <- 0;
+           node.backtrack <- 0;
+           node.preemptions <- 0
+         end;
+         let tid =
+           if !d < dfs.prefix_len then Some node.chosen
+           else begin
+             let free = !enabled land lnot node.sleep in
+             if free = 0 then None
+             else begin
+               let prev = if !d > 0 then dfs.nodes.(!d - 1).chosen else -1 in
+               if prev >= 0 && free land bit prev <> 0 then Some prev
+               else begin
+                 let rec lowest q =
+                   if free land bit q <> 0 then q else lowest (q + 1)
+                 in
+                 Some (lowest 0)
+               end
+             end
+           end
+         in
+         match tid with
+         | None ->
+           result := R_sleep_blocked;
+           running := false
+         | Some tid ->
+           if !d >= dfs.prefix_len then begin
+             node.chosen <- tid;
+             node.backtrack <-
+               (if dfs.cfg.dpor then node.backtrack lor bit tid
+                else node.backtrack lor !enabled)
+           end
+           else if !enabled land bit tid = 0 then
+             raise
+               (Model_violation
+                  (Printf.sprintf
+                     "non-deterministic scenario: scheduled thread %d not \
+                      enabled during replay at depth %d"
+                     tid !d));
+           execute_step exec dfs !d tid;
+           incr d;
+           dfs.steps_total <- dfs.steps_total + 1;
+           if !d >= dfs.cfg.max_steps then begin
+             result :=
+               R_cex
+                 {
+                   kind = "step-budget";
+                   message =
+                     Printf.sprintf
+                       "execution exceeded %d steps (livelock or unbounded \
+                        loop?)"
+                       dfs.cfg.max_steps;
+                   trace = render_trace dfs !d;
+                 };
+             running := false
+           end
+       end
+     done
+   with
+  | Thread_failure (tid, e) ->
+    result :=
+      R_cex
+        {
+          kind = "exception";
+          message =
+            Printf.sprintf "%s raised %s"
+              (if tid < exec.nthreads then exec.threads.(tid).tname
+               else Printf.sprintf "T%d" tid)
+              (Printexc.to_string e);
+          trace = render_trace dfs !d;
+        }
+  | Model_violation msg ->
+    result :=
+      R_cex { kind = "violation"; message = msg; trace = render_trace dfs !d });
+  (* fold this run's races into the dedup table *)
+  List.iter
+    (fun (locname, a, b) ->
+      let key = (locname, a.a_who, b.a_who) in
+      if not (Hashtbl.mem dfs.race_tbl key) then begin
+        Hashtbl.replace dfs.race_tbl key ();
+        dfs.races <-
+          { loc = locname; access_a = a.a_who; access_b = b.a_who } :: dfs.races
+      end)
+    exec.exec_races;
+  cur_exec := None;
+  (!result, !d)
+
+(* After a finished run, walk the stack bottom-up from the deepest
+   node: retire the branch just explored into the sleep set, and pick
+   the deepest state with an unexplored backtrack candidate. *)
+let next_branch dfs depth =
+  let rec walk i =
+    if i < 0 then None
+    else begin
+      let nd = dfs.nodes.(i) in
+      nd.done_mask <- nd.done_mask lor bit nd.chosen;
+      nd.sleep <- nd.sleep lor bit nd.chosen;
+      let candidates =
+        nd.backtrack land lnot nd.done_mask land lnot nd.sleep
+        land nd.enabled_mask
+      in
+      let candidates =
+        match dfs.cfg.preemption_bound with
+        | None -> candidates
+        | Some bound ->
+          let filtered = ref 0 in
+          for q = 0 to max_threads - 1 do
+            if candidates land bit q <> 0 then begin
+              let preempt =
+                i > 0
+                && dfs.nodes.(i - 1).chosen <> q
+                && nd.enabled_mask land bit dfs.nodes.(i - 1).chosen <> 0
+              in
+              if (not preempt) || nd.preemptions < bound then
+                filtered := !filtered lor bit q
+              else dfs.bounded <- true
+            end
+          done;
+          !filtered
+      in
+      if candidates <> 0 then begin
+        let rec lowest q = if candidates land bit q <> 0 then q else lowest (q + 1) in
+        nd.chosen <- lowest 0;
+        dfs.prefix_len <- i + 1;
+        Some ()
+      end
+      else walk (i - 1)
+    end
+  in
+  walk (depth - 1)
+
+let check ?(config = default_config) ?(final = fun () -> ()) ~name scenario =
+  if !cur_exec <> None then failwith "Mcheck.Model.check is not reentrant";
+  let dfs =
+    {
+      cfg = config;
+      nodes = Array.init 64 (fun _ -> fresh_node ());
+      prefix_len = 0;
+      step_proc = Array.make (config.max_steps + 1) (-1);
+      step_ord = Array.make (config.max_steps + 1) 0;
+      step_locs = Array.make (config.max_steps + 1) [];
+      step_writes = Array.make (config.max_steps + 1) false;
+      step_descr = Array.make (config.max_steps + 1) "";
+      last_depth = 0;
+      executions = 0;
+      prunes = 0;
+      steps_total = 0;
+      max_depth = 0;
+      bounded = false;
+      race_tbl = Hashtbl.create 32;
+      races = [];
+    }
+  in
+  let cex = ref None in
+  let budget = ref false in
+  (try
+     let continue_exploring = ref true in
+     while !continue_exploring do
+       let result, depth = run_one dfs scenario final in
+       dfs.last_depth <- depth;
+       if depth > dfs.max_depth then dfs.max_depth <- depth;
+       (match result with
+       | R_terminal -> dfs.executions <- dfs.executions + 1
+       | R_sleep_blocked -> dfs.prunes <- dfs.prunes + 1
+       | R_cex c ->
+         dfs.executions <- dfs.executions + 1;
+         cex := Some c;
+         continue_exploring := false);
+       if !continue_exploring then
+         if dfs.executions + dfs.prunes >= config.max_interleavings then begin
+           budget := true;
+           continue_exploring := false
+         end
+         else
+           match next_branch dfs depth with
+           | Some () -> ()
+           | None -> continue_exploring := false
+     done
+   with e ->
+     cur_exec := None;
+     raise e);
+  {
+    name;
+    executions = dfs.executions;
+    prunes = dfs.prunes;
+    steps_total = dfs.steps_total;
+    max_depth = dfs.max_depth;
+    races = List.rev dfs.races;
+    counterexample = !cex;
+    budget_exhausted = !budget;
+    bounded = dfs.bounded;
+  }

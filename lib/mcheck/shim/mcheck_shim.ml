@@ -1,0 +1,124 @@
+(* The PRIM signature lives in the .mli; here only the production
+   implementation.  Everything hot is an [external] re-export of the
+   same compiler primitive the Stdlib module uses, so routing
+   lib/engine and lib/trace through [Real] changes no generated
+   code on the fast paths (the dispatch bench's one-atomic-load
+   trace gate depends on this). *)
+
+module type PRIM = sig
+  module Atomic : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val fetch_and_add : int t -> int -> int
+    val incr : int t -> unit
+    val decr : int t -> unit
+  end
+
+  module Plain : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  module Array : sig
+    type 'a t
+
+    val make : ?name:string -> int -> 'a -> 'a t
+    val get : 'a t -> int -> 'a
+    val set : 'a t -> int -> 'a -> unit
+    val length : 'a t -> int
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+    val wait : t -> Mutex.t -> unit
+    val signal : t -> unit
+    val broadcast : t -> unit
+  end
+
+  module Thread : sig
+    type t
+
+    val spawn : ?name:string -> (unit -> unit) -> t
+    val join : t -> unit
+    val cpu_relax : unit -> unit
+    val self_id : unit -> int
+  end
+end
+
+module Real = struct
+  module Atomic = struct
+    type 'a t = 'a Stdlib.Atomic.t
+
+    let make ?name:_ v = Stdlib.Atomic.make v
+
+    external get : 'a t -> 'a = "%atomic_load"
+    external exchange : 'a t -> 'a -> 'a = "%atomic_exchange"
+    external compare_and_set : 'a t -> 'a -> 'a -> bool = "%atomic_cas"
+    external fetch_and_add : int t -> int -> int = "%atomic_fetch_add"
+
+    let set r v = ignore (exchange r v)
+    let incr r = ignore (fetch_and_add r 1)
+    let decr r = ignore (fetch_and_add r (-1))
+  end
+
+  module Plain = struct
+    type 'a t = { mutable v : 'a }
+
+    let make ?name:_ v = { v }
+    let get c = c.v
+    let set c v = c.v <- v
+  end
+
+  module Array = struct
+    type 'a t = 'a array
+
+    let make ?name:_ n v = Stdlib.Array.make n v
+
+    external get : 'a t -> int -> 'a = "%array_safe_get"
+    external set : 'a t -> int -> 'a -> unit = "%array_safe_set"
+    external length : 'a t -> int = "%array_length"
+  end
+
+  module Mutex = struct
+    type t = Stdlib.Mutex.t
+
+    let create ?name:_ () = Stdlib.Mutex.create ()
+    let lock = Stdlib.Mutex.lock
+    let unlock = Stdlib.Mutex.unlock
+  end
+
+  module Condition = struct
+    type t = Stdlib.Condition.t
+
+    let create ?name:_ () = Stdlib.Condition.create ()
+    let wait = Stdlib.Condition.wait
+    let signal = Stdlib.Condition.signal
+    let broadcast = Stdlib.Condition.broadcast
+  end
+
+  module Thread = struct
+    type t = unit Domain.t
+
+    let spawn ?name:_ f = Domain.spawn f
+    let join = Domain.join
+    let cpu_relax = Domain.cpu_relax
+    let self_id () = (Domain.self () :> int)
+  end
+end

@@ -1,0 +1,161 @@
+(** Instrumentable concurrency primitives.
+
+    Every piece of multicore code in [lib/engine] and [lib/trace] is
+    written against {!PRIM} instead of the raw [Stdlib] modules, either
+    as a functor parameter (conventionally named [P]) or through the
+    default {!Real} implementation.  That single indirection is what
+    lets [Mcheck.Model] substitute a scheduler-controlled
+    implementation and systematically enumerate interleavings: the
+    production build and the model-checked build run the {e same}
+    source, so a property proved under the model is a property of the
+    shipped code.
+
+    The source lint ([hermes_sim verify]) rejects raw
+    [Atomic.]/[Mutex.]/[Condition.] references in [lib/engine] and
+    [lib/trace]; the only sanctioned spellings are [P.Atomic.*] inside
+    a [PRIM]-functor and [Mcheck_shim.Real.*] outside one.
+
+    {!Real} costs nothing over the raw primitives: the hot operations
+    ([Atomic.get], [compare_and_set], [fetch_and_add], array access)
+    are re-exported as the same compiler primitives, so call sites
+    compile to the identical instructions — [Trace]'s one-atomic-load
+    fast path is unchanged.  Only creation functions (which accept an
+    optional [?name] used for model-checker counterexamples) are plain
+    functions. *)
+
+(** Interface every shim implementation provides.  Semantics mirror
+    the corresponding [Stdlib] modules; [?name] arguments are ignored
+    by {!Real} and label locations in [Mcheck.Model] counterexample
+    traces and race reports. *)
+module type PRIM = sig
+  module Atomic : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val fetch_and_add : int t -> int -> int
+    val incr : int t -> unit
+    val decr : int t -> unit
+  end
+
+  (** A non-atomic mutable cell.  Same cost as a [mutable] record
+      field under {!Real}; under the model checker every access is
+      recorded and checked for data races by the vector-clock
+      happens-before analysis. *)
+  module Plain : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  (** A non-atomic shared array (e.g. the Chase–Lev circular buffer).
+      Element accesses are race-checked under the model checker. *)
+  module Array : sig
+    type 'a t
+
+    val make : ?name:string -> int -> 'a -> 'a t
+    val get : 'a t -> int -> 'a
+    val set : 'a t -> int -> 'a -> unit
+    val length : 'a t -> int
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+    val wait : t -> Mutex.t -> unit
+    val signal : t -> unit
+    val broadcast : t -> unit
+  end
+
+  (** Execution contexts: OS domains under {!Real}, model-scheduler
+      fibers under [Mcheck.Model]. *)
+  module Thread : sig
+    type t
+
+    val spawn : ?name:string -> (unit -> unit) -> t
+    val join : t -> unit
+    val cpu_relax : unit -> unit
+
+    val self_id : unit -> int
+    (** A small integer identifying the running thread, for
+        single-owner assertions. *)
+  end
+end
+
+(** The production implementation: a zero-cost veneer over
+    [Stdlib.Atomic]/[Mutex]/[Condition]/[Domain].  The hot operations
+    are the raw compiler primitives (declared [external] here so call
+    sites inline them exactly as if [Stdlib.Atomic] had been used
+    directly). *)
+module Real : sig
+  module Atomic : sig
+    type 'a t = 'a Stdlib.Atomic.t
+
+    val make : ?name:string -> 'a -> 'a t
+
+    external get : 'a t -> 'a = "%atomic_load"
+    external exchange : 'a t -> 'a -> 'a = "%atomic_exchange"
+    external compare_and_set : 'a t -> 'a -> 'a -> bool = "%atomic_cas"
+    external fetch_and_add : int t -> int -> int = "%atomic_fetch_add"
+    val set : 'a t -> 'a -> unit
+    val incr : int t -> unit
+    val decr : int t -> unit
+  end
+
+  module Plain : sig
+    type 'a t = { mutable v : 'a }
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  module Array : sig
+    type 'a t = 'a array
+
+    val make : ?name:string -> int -> 'a -> 'a t
+
+    external get : 'a t -> int -> 'a = "%array_safe_get"
+    external set : 'a t -> int -> 'a -> unit = "%array_safe_set"
+    external length : 'a t -> int = "%array_length"
+  end
+
+  module Mutex : sig
+    type t = Stdlib.Mutex.t
+
+    val create : ?name:string -> unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t = Stdlib.Condition.t
+
+    val create : ?name:string -> unit -> t
+    val wait : t -> Mutex.t -> unit
+    val signal : t -> unit
+    val broadcast : t -> unit
+  end
+
+  module Thread : sig
+    type t = unit Domain.t
+
+    val spawn : ?name:string -> (unit -> unit) -> t
+    val join : t -> unit
+    val cpu_relax : unit -> unit
+    val self_id : unit -> int
+  end
+end

@@ -1,0 +1,272 @@
+(* Source lint: the engine and trace libraries must route every
+   concurrency primitive through the {!Mcheck_shim.PRIM} shim — a
+   functor parameter conventionally named [P], or the zero-cost
+   [Mcheck_shim.Real] instance.  A raw [Atomic.] / [Mutex.] /
+   [Condition.] / [Domain.spawn] use compiles and runs fine but is
+   invisible to the model checker, so its interleavings would be
+   silently unexplored; this lint (wired into [hermes_sim verify] and
+   CI) turns that hole into a build failure.
+
+   The scan is token-based on comment- and string-stripped source: a
+   forbidden module name followed by a dot counts only when it is a
+   real dotted-path use whose head compartment is not [Mcheck_shim] or
+   [P] (so [P.Atomic.get] and [Mcheck_shim.Real.Atomic] pass, bare
+   [Atomic.get] and [Stdlib.Mutex.create] fail). *)
+
+type violation = { file : string; line : int; token : string; context : string }
+
+(* Replace comments (nested, with OCaml's string-aware lexing inside),
+   string literals, quoted-string literals [{id|...|id}] and char
+   literals with spaces, preserving newlines so line numbers
+   survive. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let is_quote_id c = (c >= 'a' && c <= 'z') || c = '_' in
+  (* quoted-string opener (brace, id, pipe) at [i]: the delimiter id *)
+  let quoted_opener i =
+    if i < n && src.[i] = '{' then begin
+      let j = ref (i + 1) in
+      while !j < n && is_quote_id src.[!j] do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then Some (String.sub src (i + 1) (!j - i - 1))
+      else None
+    end
+    else None
+  in
+  let rec code i =
+    if i < n then
+      if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+        blank i;
+        blank (i + 1);
+        comment (i + 2) 1
+      end
+      else if src.[i] = '"' then begin
+        blank i;
+        string_lit i (i + 1)
+      end
+      else
+        match quoted_opener i with
+        | Some id ->
+          blank i;
+          quoted_lit id (i + 1)
+        | None ->
+          if src.[i] = '\'' then char_lit i
+          else code (i + 1)
+  and comment i depth =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      comment (i + 2) (depth + 1)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then code (i + 2) else comment (i + 2) (depth - 1)
+    end
+    else if src.[i] = '"' then begin
+      (* string literals are lexed (and must close) inside comments *)
+      blank i;
+      in_comment_string (i + 1) depth
+    end
+    else begin
+      blank i;
+      comment (i + 1) depth
+    end
+  and in_comment_string i depth =
+    if i >= n then ()
+    else if src.[i] = '\\' && i + 1 < n then begin
+      blank i;
+      blank (i + 1);
+      in_comment_string (i + 2) depth
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      comment (i + 1) depth
+    end
+    else begin
+      blank i;
+      in_comment_string (i + 1) depth
+    end
+  and string_lit start i =
+    if i >= n then ()
+    else if src.[i] = '\\' && i + 1 < n then begin
+      blank i;
+      blank (i + 1);
+      string_lit start (i + 2)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      code (i + 1)
+    end
+    else begin
+      blank i;
+      string_lit start (i + 1)
+    end
+  and quoted_lit id i =
+    let close = "|" ^ id ^ "}" in
+    let cl = String.length close in
+    if i + cl <= n && String.sub src i cl = close then begin
+      for k = i to i + cl - 1 do
+        blank k
+      done;
+      code (i + cl)
+    end
+    else if i >= n then ()
+    else begin
+      blank i;
+      quoted_lit id (i + 1)
+    end
+  and char_lit i =
+    (* ['] is a char literal ['x'] / ['\n'] / ['\xhh'], or a type
+       variable quote ['a] — only the literal forms are blanked *)
+    if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 1] <> '\'' && src.[i + 2] = '\''
+    then begin
+      blank i;
+      blank (i + 1);
+      blank (i + 2);
+      code (i + 3)
+    end
+    else if i + 1 < n && src.[i + 1] = '\\' then begin
+      (* escaped char: scan to the closing quote (bounded) *)
+      let j = ref (i + 2) in
+      while !j < n && !j < i + 6 && src.[!j] <> '\'' do
+        incr j
+      done;
+      if !j < n && src.[!j] = '\'' then begin
+        for k = i to !j do
+          blank k
+        done;
+        code (!j + 1)
+      end
+      else code (i + 1)
+    end
+    else code (i + 1)
+  in
+  code 0;
+  Bytes.to_string out
+
+let is_ident_char c =
+  (c >= 'A' && c <= 'Z')
+  || (c >= 'a' && c <= 'z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Walk back over capitalized ["Seg."] prefixes to find the head
+   compartment of the dotted path a match at [i] belongs to; [None]
+   when the match is itself the head. *)
+let path_head text i =
+  let rec back i =
+    if i >= 2 && text.[i - 1] = '.' then begin
+      let j = ref (i - 2) in
+      while !j >= 0 && is_ident_char text.[!j] do
+        decr j
+      done;
+      let start = !j + 1 in
+      if start <= i - 2 && text.[start] >= 'A' && text.[start] <= 'Z' then
+        back start
+      else i (* a lowercase prefix (record access etc.) is not a path *)
+    end
+    else i
+  in
+  let h = back i in
+  if h = i then None
+  else begin
+    let j = ref h in
+    while !j < String.length text && is_ident_char text.[!j] do
+      incr j
+    done;
+    Some (String.sub text h (!j - h))
+  end
+
+let allowed_heads = [ "Mcheck_shim"; "P" ]
+let forbidden_modules = [ "Atomic"; "Mutex"; "Condition" ]
+
+let line_of text i =
+  let l = ref 1 in
+  for k = 0 to i - 1 do
+    if text.[k] = '\n' then incr l
+  done;
+  !l
+
+let context_of text i =
+  let b = ref i and e = ref i in
+  while !b > 0 && text.[!b - 1] <> '\n' do
+    decr b
+  done;
+  while !e < String.length text && text.[!e] <> '\n' do
+    incr e
+  done;
+  String.trim (String.sub text !b (!e - !b))
+
+let scan_source ~file src =
+  let text = strip src in
+  let n = String.length text in
+  let hits = ref [] in
+  let word_at i w =
+    let wl = String.length w in
+    i + wl <= n
+    && String.sub text i wl = w
+    && (i = 0 || not (is_ident_char text.[i - 1]))
+  in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun m ->
+        if word_at i (m ^ ".") then begin
+          let head, token =
+            match path_head text i with
+            | None -> (m, m)
+            | Some h -> (h, h ^ "..." ^ m)
+          in
+          if not (List.mem head allowed_heads) then
+            hits :=
+              { file; line = line_of text i; token; context = context_of text i }
+              :: !hits
+        end)
+      forbidden_modules;
+    if word_at i "Domain.spawn" then
+      hits :=
+        {
+          file;
+          line = line_of text i;
+          token = "Domain.spawn";
+          context = context_of text i;
+        }
+        :: !hits
+  done;
+  List.rev !hits
+
+let default_dirs = [ "lib/engine"; "lib/trace" ]
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_tree ~root =
+  let dirs = List.map (Filename.concat root) default_dirs in
+  match List.filter Sys.file_exists dirs with
+  | [] ->
+    Error
+      (Printf.sprintf "no source directories found under %s (looked for %s)"
+         root
+         (String.concat ", " default_dirs))
+  | present ->
+    let violations =
+      List.concat_map
+        (fun dir ->
+          Sys.readdir dir |> Array.to_list |> List.sort compare
+          |> List.filter is_source
+          |> List.concat_map (fun f ->
+                 let path = Filename.concat dir f in
+                 scan_source ~file:path (read_file path)))
+        present
+    in
+    Ok violations

@@ -1,0 +1,27 @@
+(** Source lint: forbid raw concurrency primitives ([Atomic.],
+    [Mutex.], [Condition.], [Domain.spawn]) in [lib/engine] and
+    [lib/trace] — everything must go through a {!Mcheck_shim.PRIM}
+    functor parameter named [P] or the [Mcheck_shim.Real] instance, or
+    the model checker cannot see it.  Run by [hermes_sim verify] and
+    CI. *)
+
+type violation = {
+  file : string;
+  line : int;  (** 1-based *)
+  token : string;  (** e.g. ["Atomic"] or ["Stdlib...Mutex"] *)
+  context : string;  (** the offending source line, trimmed *)
+}
+
+val strip : string -> string
+(** Comments (nested, string-aware), string / quoted-string / char
+    literals replaced by spaces; newlines preserved. *)
+
+val scan_source : file:string -> string -> violation list
+(** Lint one compilation unit's source text. *)
+
+val default_dirs : string list
+(** The directories under the repo root that must be shim-clean. *)
+
+val scan_tree : root:string -> (violation list, string) result
+(** Lint every [.ml]/[.mli] under [root]'s {!default_dirs}.  [Error]
+    if none of the directories exist (wrong [--src-root]). *)

@@ -61,11 +61,20 @@ let st () = Domain.DLS.get state_key
    reduces them to one atomic load.  The count is conservative: a
    shard state whose ring outlives its shard keeps it positive, which
    only means those processes keep paying the domain-local lookup —
-   never that a record is lost. *)
-let active_sinks = Atomic.make 0
+   never that a record is lost.
+
+   Concurrency primitives go through the shim ([A.get] is the same
+   "%atomic_load" primitive, so the fast path is still one inlined
+   atomic load); the publication protocol itself — count incremented
+   in [make_state] before the state is ever visible to a domain,
+   decremented only by [uninstall] — is model-checked by the
+   [trace_publication] harness in [Mcheck.Scenarios]. *)
+module A = Mcheck_shim.Real.Atomic
+
+let active_sinks = A.make ~name:"trace.active_sinks" 0
 
 let make_state sink =
-  (match sink with None -> () | Some _ -> Atomic.incr active_sinks);
+  (match sink with None -> () | Some _ -> A.incr active_sinks);
   { active = sink; seq_counter = 0; clock = 0 }
 
 let swap_state s =
@@ -74,14 +83,14 @@ let swap_state s =
   cur
 
 let enabled () =
-  Atomic.get active_sinks > 0
+  A.get active_sinks > 0
   && match (st ()).active with None -> false | Some _ -> true
 
-let set_now t = if Atomic.get active_sinks > 0 then (st ()).clock <- t
+let set_now t = if A.get active_sinks > 0 then (st ()).clock <- t
 let now () = (st ()).clock
 
 let emit ev =
-  if Atomic.get active_sinks > 0 then begin
+  if A.get active_sinks > 0 then begin
     let s = st () in
     match s.active with
     | None -> ()
@@ -96,7 +105,7 @@ let uninstall () =
   | None -> ()
   | Some sink ->
     s.active <- None;
-    Atomic.decr active_sinks;
+    A.decr active_sinks;
     sink.close ()
 
 let install sink =
@@ -105,7 +114,7 @@ let install sink =
   s.seq_counter <- 0;
   s.clock <- 0;
   s.active <- Some sink;
-  Atomic.incr active_sinks
+  A.incr active_sinks
 
 let with_sink s f =
   install s;
