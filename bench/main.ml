@@ -227,10 +227,16 @@ let () =
   let kcheck_file =
     opt_file ~flag:"--cluster-check" ~default:"BENCH_PR6.json" args
   in
+  let conn_only = List.mem "--conn-only" args in
+  let no_conn = List.mem "--no-conn" args in
+  let njson_file = opt_file ~flag:"--conn-json" ~default:"BENCH_PR8.json" args in
+  let ncheck_file =
+    opt_file ~flag:"--conn-check" ~default:"BENCH_PR8.json" args
+  in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
   if
     (not micro_only) && (not sched_only) && (not dispatch_only)
-    && (not chaos_only) && not cluster_only
+    && (not chaos_only) && (not cluster_only) && not conn_only
   then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
@@ -246,7 +252,7 @@ let () =
   end;
   if
     (not no_sched) && (not micro_only) && (not dispatch_only)
-    && (not chaos_only) && not cluster_only
+    && (not chaos_only) && (not cluster_only) && not conn_only
   then begin
     let results = Sched_bench.run_all ~quick () in
     Sched_bench.print_table results;
@@ -259,7 +265,7 @@ let () =
   end;
   if
     (not no_dispatch) && (not micro_only) && (not sched_only)
-    && (not chaos_only) && not cluster_only
+    && (not chaos_only) && (not cluster_only) && not conn_only
   then begin
     let results = Dispatch_bench.run_all ~quick () in
     Dispatch_bench.print_table results;
@@ -273,7 +279,7 @@ let () =
   end;
   if
     (not no_chaos) && (not micro_only) && (not sched_only)
-    && (not dispatch_only) && not cluster_only
+    && (not dispatch_only) && (not cluster_only) && not conn_only
   then begin
     let results = Chaos_bench.run_all ~quick () in
     Chaos_bench.print_table results;
@@ -286,7 +292,7 @@ let () =
   end;
   if
     (not no_cluster) && (not micro_only) && (not sched_only)
-    && (not dispatch_only) && not chaos_only
+    && (not dispatch_only) && (not chaos_only) && not conn_only
   then begin
     let results = Cluster_bench.run_all ~quick () in
     Cluster_bench.print_table results;
@@ -299,6 +305,19 @@ let () =
     | None -> ()
   end;
   if
+    (not no_conn) && (not micro_only) && (not sched_only)
+    && (not dispatch_only) && (not chaos_only) && not cluster_only
+  then begin
+    let results = Conn_bench.run_all ~quick () in
+    Conn_bench.print_table results;
+    (match njson_file with
+    | Some file -> Conn_bench.write_json ~file results
+    | None -> ());
+    match ncheck_file with
+    | Some baseline -> if not (Conn_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if
     (not no_micro) && (not sched_only) && (not dispatch_only)
-    && (not chaos_only) && not cluster_only
+    && (not chaos_only) && (not cluster_only) && not conn_only
   then run_micro ()

@@ -10,7 +10,9 @@ let quick_flag =
 let trace_arg =
   let doc =
     "Record every scheduling decision (wakeups, filter cascade, bitmap \
-     pushes, reuseport picks, WST writes) as JSON lines to $(docv)."
+     pushes, reuseport picks, WST writes) to $(docv): JSON lines by \
+     default, the compact binary format when $(docv) ends in $(b,.bin) \
+     (decode with $(b,trace-dump))."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
@@ -20,11 +22,15 @@ let with_trace file f =
     f ();
     `Ok ()
   | Some path ->
-    (match open_out path with
+    (match open_out_bin path with
     | exception Sys_error msg ->
       `Error (false, Printf.sprintf "cannot open trace file: %s" msg)
     | oc ->
-      Trace.install (Trace.jsonl_sink oc);
+      let sink =
+        if Filename.check_suffix path ".bin" then Trace.Binary.sink oc
+        else Trace.jsonl_sink oc
+      in
+      Trace.install sink;
       Fun.protect
         ~finally:(fun () ->
           Trace.uninstall ();
@@ -785,6 +791,45 @@ let mcheck_cmd =
        $ max_interleavings_arg $ max_steps_arg $ preemption_bound_arg
        $ no_dpor_flag $ json_arg))
 
+let trace_dump_cmd =
+  let file =
+    let doc = "Binary trace file (written by $(b,--trace) $(i,FILE.bin))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let format =
+    let doc = "Output format: $(b,jsonl) (one JSON object per line, identical \
+               to the JSONL sink's output) or $(b,text) (the golden-trace \
+               rendering)." in
+    Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("text", `Text) ]) `Jsonl
+         & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run file format =
+    let render =
+      match format with
+      | `Jsonl -> Trace.json_of_record
+      | `Text -> Trace.render
+    in
+    match
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Trace.Binary.iter_channel ic (fun r ->
+              print_string (render r);
+              print_newline ()))
+    with
+    | () -> `Ok ()
+    | exception Sys_error msg -> `Error (false, msg)
+    | exception Trace.Binary.Corrupt msg ->
+      `Error (false, Printf.sprintf "corrupt trace %s: %s" file msg)
+  in
+  let doc =
+    "Decode a compact binary trace to JSON lines or golden-trace text.  \
+     The decoded stream is event-for-event identical to what the JSONL \
+     sink would have written during the same run."
+  in
+  Cmd.v (Cmd.info "trace-dump" ~doc) Term.(ret (const run $ file $ format))
+
 let main =
   let doc = "Hermes (SIGCOMM '25) reproduction driver" in
   let info = Cmd.info "hermes_sim" ~version:"1.0.0" ~doc in
@@ -798,6 +843,7 @@ let main =
       disasm_cmd;
       verify_cmd;
       mcheck_cmd;
+      trace_dump_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -53,7 +53,9 @@ let one_run ~seed ~workers ?hermes_group_size ?hermes_select_mode ~stagger
 
 let median xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  (* total float order, not polymorphic compare: NaN under [compare]
+     sorts inconsistently and can shift every rank around it *)
+  Array.sort Float.compare arr;
   arr.(Array.length arr / 2)
 
 let measure_mode ?(workers = 8) ?hermes_group_size ?hermes_select_mode

@@ -32,7 +32,7 @@ let run_mode ~mode ~quick =
     Workload.Driver.start ~device ~profile:heavy ~rng:(Engine.Rng.split rng) ()
   in
   Engine.Sim.run_until sim ~limit:(ST.sec 2);
-  Lb.Device.enable_sampling device ~every:(ST.ms 200);
+  Lb.Device.enable_sampling device ~every:(ST.ms 200) ();
   let horizon = if quick then ST.sec 8 else ST.sec 22 in
   Engine.Sim.run_until sim ~limit:horizon;
   Workload.Driver.stop d1;

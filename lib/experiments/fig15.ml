@@ -13,7 +13,9 @@ module ST = Engine.Sim_time
 
 let median xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  (* total float order, not polymorphic compare: NaN under [compare]
+     sorts inconsistently and can shift every rank around it *)
+  Array.sort Float.compare arr;
   arr.(Array.length arr / 2)
 
 let run_point ~theta ~quick =

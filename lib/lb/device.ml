@@ -41,9 +41,13 @@ type port_plumbing =
       sockarray : Kernel.Ebpf_maps.Sockarray.t;
     }
 
-type meta = { events : conn_events; syn_time : Sim_time.t }
-
 type sample = { at : Sim_time.t; util : float array; conns : int array }
+
+let null_sample = { at = 0; util = [||]; conns = [||] }
+
+(* Utilization is a fraction in [0, 1]; the streaming histogram's
+   linear buckets are unit-width, so record it in basis points. *)
+let util_scale = 10_000.0
 
 type t = {
   sim : Sim.t;
@@ -52,9 +56,12 @@ type t = {
   tenant_arr : Netsim.Tenant.t array;
   mutable workers_arr : Worker.t array;
   ports : (int, port_plumbing) Hashtbl.t; (* dport -> plumbing *)
-  sock_owner : (int, int * int) Hashtbl.t; (* socket id -> (worker, fd) *)
+  sock_owner : Conn_table.Dense.t; (* socket id -> (worker, fd) *)
   isolated : bool array;
-  metas : (int, meta) Hashtbl.t; (* conn seq -> meta *)
+  (* conn seq -> callbacks; the SYN timestamp rides in the table's
+     fixed-width [aux] field, so an in-flight connection costs one
+     payload pointer on the OCaml heap and nothing else. *)
+  metas : conn_events Conn_table.t;
   hermes_rt : Hermes.Runtime.t option;
   backlog : int;
   mutable next_seq : int;
@@ -66,7 +73,15 @@ type t = {
   mutable completed_count : int;
   mutable drop_count : int;
   mutable reset_count : int;
-  mutable samples_rev : sample list;
+  (* Bounded sample ring (most recent [retain] samples) + streaming
+     per-worker histograms fed on every tick, so unbounded soaks keep
+     O(retain) memory while percentiles still cover the full run. *)
+  mutable sample_buf : sample array;
+  mutable sample_len : int;
+  mutable sample_pos : int;
+  mutable sample_drops : int;
+  sample_util : Stats.Histogram.t;
+  sample_conns : Stats.Histogram.t;
   mutable sampling_prev : Sim_time.t array;
   (* per-tenant accounting (indexed like [tenant_arr]) for overload
      attribution: connection arrivals and CPU consumed *)
@@ -98,7 +113,10 @@ let alloc_fd t () =
   t.next_fd <- t.next_fd + 1;
   t.next_fd
 
-let meta_of t conn = Hashtbl.find_opt t.metas conn.Conn.id
+(* Synthetic connections (fault carriers, adopted conns) never enter
+   [metas]; their lookups return the absent slot and every handler
+   below degrades to a no-op, as before. *)
+let meta_slot t conn = Conn_table.find_slot t.metas conn.Conn.id
 
 let tenant_index t tenant_id =
   Hashtbl.find_opt t.tenant_index_of_id tenant_id
@@ -107,12 +125,12 @@ let handle_established t conn =
   (match tenant_index t conn.Conn.tenant_id with
   | Some i -> t.tenant_conns.(i) <- t.tenant_conns.(i) + 1
   | None -> ());
-  match meta_of t conn with
-  | Some m ->
+  let slot = meta_slot t conn in
+  if slot >= 0 then begin
     Stats.Histogram.record t.estab_lat
-      (float_of_int (Sim_time.sub (Sim.now t.sim) m.syn_time));
-    m.events.established conn
-  | None -> ()
+      (float_of_int (Sim_time.sub (Sim.now t.sim) (Conn_table.aux t.metas slot)));
+    (Conn_table.payload t.metas slot).established conn
+  end
 
 let handle_request_done t conn req =
   (* tenant_id < 0 marks a fault-injection carrier: synthetic stall
@@ -125,25 +143,28 @@ let handle_request_done t conn req =
     (match tenant_index t conn.Conn.tenant_id with
     | Some i -> t.tenant_cpu.(i) <- Sim_time.add t.tenant_cpu.(i) req.Request.cost
     | None -> ());
-    match meta_of t conn with
-    | Some m -> m.events.request_done conn req
-    | None -> ()
+    let slot = meta_slot t conn in
+    if slot >= 0 then (Conn_table.payload t.metas slot).request_done conn req
   end
 
+(* Removing an entry resets its payload to the dummy, so the callbacks
+   must be read out before the remove. *)
 let handle_closed t conn =
-  match meta_of t conn with
-  | Some m ->
-    Hashtbl.remove t.metas conn.Conn.id;
-    m.events.closed conn
-  | None -> ()
+  let slot = meta_slot t conn in
+  if slot >= 0 then begin
+    let events = Conn_table.payload t.metas slot in
+    ignore (Conn_table.remove t.metas conn.Conn.id);
+    events.closed conn
+  end
 
 let handle_reset t conn =
   if conn.Conn.tenant_id >= 0 then t.reset_count <- t.reset_count + 1;
-  match meta_of t conn with
-  | Some m ->
-    Hashtbl.remove t.metas conn.Conn.id;
-    m.events.reset conn
-  | None -> ()
+  let slot = meta_slot t conn in
+  if slot >= 0 then begin
+    let events = Conn_table.payload t.metas slot in
+    ignore (Conn_table.remove t.metas conn.Conn.id);
+    events.reset conn
+  end
 
 let wq_mode = function
   | Exclusive -> Kernel.Waitqueue.Lifo_exclusive
@@ -163,7 +184,7 @@ let bind_dedicated t ~port ~group ~sockarray ~worker_id =
   Kernel.Reuseport.bind group ~slot:worker_id ~socket:sock;
   Kernel.Ebpf_maps.Sockarray.set sockarray worker_id sock;
   let fd = Worker.listen_dedicated t.workers_arr.(worker_id) ~socket:sock in
-  Hashtbl.replace t.sock_owner (Kernel.Socket.id sock) (worker_id, fd)
+  Conn_table.Dense.set t.sock_owner ~key:(Kernel.Socket.id sock) ~a:worker_id ~b:fd
 
 let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
     ?(hermes_group_size = 64) ?(hermes_select_mode = Hermes.Groups.By_flow_hash)
@@ -197,9 +218,9 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
       tenant_arr = tenants;
       workers_arr = [||];
       ports = Hashtbl.create 64;
-      sock_owner = Hashtbl.create 256;
+      sock_owner = Conn_table.Dense.create ~capacity:256 ();
       isolated = Array.make workers false;
-      metas = Hashtbl.create 4096;
+      metas = Conn_table.create ~dummy:null_conn_events ~capacity:4096 ();
       hermes_rt;
       backlog;
       next_seq = 0;
@@ -211,7 +232,12 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
       completed_count = 0;
       drop_count = 0;
       reset_count = 0;
-      samples_rev = [];
+      sample_buf = [||];
+      sample_len = 0;
+      sample_pos = 0;
+      sample_drops = 0;
+      sample_util = Stats.Histogram.create ();
+      sample_conns = Stats.Histogram.create ();
       sampling_prev = Array.make workers 0;
       tenant_conns = Array.make (Array.length tenants) 0;
       tenant_cpu = Array.make (Array.length tenants) 0;
@@ -290,7 +316,7 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
 let start t = Array.iter Worker.start t.workers_arr
 
 let dispatch_failed t seq events =
-  Hashtbl.remove t.metas seq;
+  ignore (Conn_table.remove t.metas seq);
   t.drop_count <- t.drop_count + 1;
   events.dispatch_failed ()
 
@@ -313,7 +339,7 @@ let connect t ~tenant ~events =
   in
   let flow_hash = Netsim.Flow_hash.of_four_tuple tuple in
   let now = Sim.now t.sim in
-  Hashtbl.replace t.metas seq { events; syn_time = now };
+  Conn_table.add t.metas ~key:seq ~aux:now events;
   let pending =
     { Kernel.Socket.seq; tuple; flow_hash; tenant_id = tn.id; syn_time = now }
   in
@@ -330,7 +356,9 @@ let connect t ~tenant ~events =
       match Kernel.Socket.push sock pending with
       | `Dropped -> dispatch_failed t seq events
       | `Queued ->
-        let w, fd = Hashtbl.find t.sock_owner (Kernel.Socket.id sock) in
+        let sid = Kernel.Socket.id sock in
+        let w = Conn_table.Dense.get_a t.sock_owner sid in
+        let fd = Conn_table.Dense.get_b t.sock_owner sid in
         Kernel.Epoll.notify_accept_ready (Worker.epoll t.workers_arr.(w)) ~fd))
   end
 
@@ -449,18 +477,19 @@ let isolate_worker t w =
           | Some sock ->
             Kernel.Reuseport.unbind group ~slot:w;
             Kernel.Ebpf_maps.Sockarray.clear sockarray w;
-            Hashtbl.remove t.sock_owner (Kernel.Socket.id sock);
+            Conn_table.Dense.remove t.sock_owner (Kernel.Socket.id sock);
             (* Handshake-complete but never-accepted connections are
                reset when the socket closes. *)
             let orphans = Kernel.Socket.close sock in
             List.iter
               (fun (p : Kernel.Socket.pending_conn) ->
-                match Hashtbl.find_opt t.metas p.seq with
-                | Some m ->
-                  Hashtbl.remove t.metas p.seq;
+                let slot = Conn_table.find_slot t.metas p.seq in
+                if slot >= 0 then begin
+                  let events = Conn_table.payload t.metas slot in
+                  ignore (Conn_table.remove t.metas p.seq);
                   t.reset_count <- t.reset_count + 1;
-                  m.events.dispatch_failed ()
-                | None -> ())
+                  events.dispatch_failed ()
+                end)
               orphans))
       t.ports
   end
@@ -521,18 +550,42 @@ let enable_degradation t ~policy ~check_every =
   in
   ignore (Sim.schedule_after t.sim ~delay:check_every tick)
 
-let enable_sampling t ~every =
+let push_sample t s =
+  let cap = Array.length t.sample_buf in
+  if t.sample_len = cap then t.sample_drops <- t.sample_drops + 1
+  else t.sample_len <- t.sample_len + 1;
+  t.sample_buf.(t.sample_pos) <- s;
+  t.sample_pos <- (t.sample_pos + 1) mod cap;
+  Array.iter (fun u -> Stats.Histogram.record t.sample_util (u *. util_scale)) s.util;
+  Array.iter
+    (fun c -> Stats.Histogram.record t.sample_conns (float_of_int c))
+    s.conns
+
+let enable_sampling t ?(retain = 4096) ~every () =
+  if retain <= 0 then invalid_arg "Device.enable_sampling: retain must be positive";
+  t.sample_buf <- Array.make retain null_sample;
+  t.sample_len <- 0;
+  t.sample_pos <- 0;
   t.sampling_prev <- cpu_busy_per_worker t;
   let rec tick () =
     let util = utilization_since t t.sampling_prev ~window:every in
     t.sampling_prev <- cpu_busy_per_worker t;
     let conns = Array.map Worker.conn_count t.workers_arr in
-    t.samples_rev <- { at = Sim.now t.sim; util; conns } :: t.samples_rev;
+    push_sample t { at = Sim.now t.sim; util; conns };
     ignore (Sim.schedule_after t.sim ~delay:every tick)
   in
   ignore (Sim.schedule_after t.sim ~delay:every tick)
 
-let samples t = List.rev t.samples_rev
+let samples t =
+  (* Oldest first: when the ring has wrapped, the oldest retained
+     sample sits at the write position. *)
+  let cap = Array.length t.sample_buf in
+  let start = if t.sample_len = cap then t.sample_pos else 0 in
+  List.init t.sample_len (fun i -> t.sample_buf.((start + i) mod cap))
+
+let samples_dropped t = t.sample_drops
+let sample_util_hist t = t.sample_util
+let sample_conn_hist t = t.sample_conns
 
 let latency_hist t = t.lat
 let establishment_hist t = t.estab_lat
@@ -551,7 +604,11 @@ let reset_measurements t =
   t.completed_count <- 0;
   t.drop_count <- 0;
   t.reset_count <- 0;
-  t.samples_rev <- []
+  t.sample_len <- 0;
+  t.sample_pos <- 0;
+  t.sample_drops <- 0;
+  Stats.Histogram.reset t.sample_util;
+  Stats.Histogram.reset t.sample_conns
 
 let kernel_dispatch_cycles t =
   Hashtbl.fold
@@ -603,12 +660,13 @@ let quarantine_tenant t ~tenant =
           let orphans = Kernel.Socket.close sock in
           List.iter
             (fun (p : Kernel.Socket.pending_conn) ->
-              match Hashtbl.find_opt t.metas p.seq with
-              | Some m ->
-                Hashtbl.remove t.metas p.seq;
+              let slot = Conn_table.find_slot t.metas p.seq in
+              if slot >= 0 then begin
+                let events = Conn_table.payload t.metas slot in
+                ignore (Conn_table.remove t.metas p.seq);
                 t.drop_count <- t.drop_count + 1;
-                m.events.dispatch_failed ()
-              | None -> ())
+                events.dispatch_failed ()
+              end)
             orphans;
           Kernel.Reuseport.unbind group ~slot
         | None -> ()

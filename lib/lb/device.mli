@@ -170,13 +170,29 @@ type sample = {
   conns : int array;
 }
 
-val enable_sampling : t -> every:Engine.Sim_time.t -> unit
+val enable_sampling : t -> ?retain:int -> every:Engine.Sim_time.t -> unit -> unit
 (** Record per-worker utilization and connection counts periodically
     (the sampling behind Fig. 13).  Sampling runs until the simulation
-    stops being driven. *)
+    stops being driven.  At most [retain] (default 4096) raw samples
+    are kept — a bounded ring of the most recent ones, so week-long
+    soaks don't grow a per-tick list without bound; every sample is
+    additionally folded into the streaming histograms below, which
+    cover the whole run. *)
 
 val samples : t -> sample list
-(** Oldest first. *)
+(** The retained (most recent) samples, oldest first. *)
+
+val samples_dropped : t -> int
+(** Raw samples evicted from the ring because [retain] was exceeded.
+    Their contribution survives in the histograms. *)
+
+val sample_util_hist : t -> Stats.Histogram.t
+(** Per-worker utilization from every sampling tick of the run,
+    recorded in basis points (utilization × 10{^4}: 10000 = fully
+    busy). *)
+
+val sample_conn_hist : t -> Stats.Histogram.t
+(** Per-worker connection counts from every sampling tick. *)
 
 val reset_measurements : t -> unit
 (** Clear the latency histogram and device-level counters (warm-up

@@ -60,7 +60,7 @@ type t = {
   callbacks : callbacks;
   hermes : Hermes.Runtime.t option;
   listen_socks : (int, Kernel.Socket.t) Hashtbl.t;
-  conn_table : (int, Conn.t) Hashtbl.t;
+  conn_table : Conn.t Conn_table.t; (* fd -> conn, SoA storage *)
   worker_stats : stats;
   mutable state : state;
   mutable synthetic_seq : int;  (* adopt_conn / fault-carrier conn ids *)
@@ -75,6 +75,14 @@ type t = {
   mutable busy_outstanding : int;  (* our net contribution to the WST busy cell *)
 }
 
+(* Free table slots hold this placeholder instead of a dead
+   connection's record, so closed conns (and their inbox contents) are
+   collectable immediately. *)
+let dummy_conn =
+  Conn.make ~id:0 ~fd:0
+    ~tuple:{ Netsim.Addr.src_ip = 0; src_port = 0; dst_ip = 0; dst_port = 0 }
+    ~tenant_id:(-1) ~worker_id:(-1) ~established:0
+
 let create ~sim ~id ~config ~alloc_fd ~callbacks ?hermes () =
   let ep = Kernel.Epoll.create ~worker_id:id in
   let t =
@@ -87,7 +95,7 @@ let create ~sim ~id ~config ~alloc_fd ~callbacks ?hermes () =
       callbacks;
       hermes;
       listen_socks = Hashtbl.create 16;
-      conn_table = Hashtbl.create 1024;
+      conn_table = Conn_table.create ~dummy:dummy_conn ~capacity:1024 ();
       (* Per-worker band of a billion-based id space: ids stay unique
          within a device and depend only on (worker, adoption order),
          never on cross-worker or cross-device interleaving — the
@@ -130,8 +138,15 @@ let cpu_busy_at t time =
   t.cpu_committed + in_progress
 
 let cpu_busy t = cpu_busy_at t (Sim.now t.sim)
-let conn_count t = Hashtbl.length t.conn_table
-let conns t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conn_table []
+let conn_count t = Conn_table.length t.conn_table
+
+(* Sorted by fd (monotonic, so effectively accept order): iteration
+   sites — degradation shedding, restart resets — behave independently
+   of the table's internal hash order. *)
+let conns t =
+  Conn_table.fold t.conn_table ~init:[] ~f:(fun acc ~key:_ ~slot ->
+      Conn_table.payload t.conn_table slot :: acc)
+  |> List.sort (fun (a : Conn.t) b -> compare a.Conn.fd b.Conn.fd)
 let is_blocked t = match t.state with Blocked _ -> true | _ -> false
 let is_crashed t = t.state = Crashed
 
@@ -181,7 +196,7 @@ let listen_dedicated t ~socket =
 
 let do_close t conn final_state =
   Kernel.Epoll.remove_conn t.ep ~fd:conn.Conn.fd;
-  Hashtbl.remove t.conn_table conn.Conn.fd;
+  ignore (Conn_table.remove t.conn_table conn.Conn.fd);
   conn_add t (-1);
   conn.Conn.state <- final_state;
   if Trace.enabled () then
@@ -304,7 +319,7 @@ and handle_accept t fd units rest k =
       process_events t rest k
     | Some pending ->
       charge t Cost.accept_cost (fun () ->
-          (if Hashtbl.length t.conn_table >= t.cfg.conn_capacity then begin
+          (if Conn_table.length t.conn_table >= t.cfg.conn_capacity then begin
              (* Connection pool exhausted: reject with RST. *)
              t.worker_stats.pool_rejects <- t.worker_stats.pool_rejects + 1;
              let conn =
@@ -324,7 +339,7 @@ and handle_accept t fd units rest k =
                  ~tenant_id:pending.Kernel.Socket.tenant_id ~worker_id:t.worker_id
                  ~established:(Sim.now t.sim)
              in
-             Hashtbl.replace t.conn_table conn_fd conn;
+             Conn_table.add t.conn_table ~key:conn_fd ~aux:0 conn;
              Kernel.Epoll.add_conn t.ep ~fd:conn_fd;
              conn_add t 1;
              t.worker_stats.accepted <- t.worker_stats.accepted + 1;
@@ -337,16 +352,19 @@ and handle_accept t fd units rest k =
           handle_accept t fd (units - 1) rest k)
 
 and handle_readable t fd units rest k =
-  match Hashtbl.find_opt t.conn_table fd with
-  | None ->
+  let slot = Conn_table.find_slot t.conn_table fd in
+  if slot < 0 then begin
     (* Data raced a close; discard the announced units. *)
     busy_add t (-units);
     process_events t rest k
-  | Some conn ->
+  end
+  else begin
+    let conn = Conn_table.payload t.conn_table slot in
     let reqs = Conn.take conn units in
     let missing = units - List.length reqs in
     if missing > 0 then busy_add t (-missing);
     process_requests t conn reqs (fun () -> process_events t rest k)
+  end
 
 and process_requests t conn reqs k =
   match reqs with
@@ -420,7 +438,7 @@ let adopt_conn t ~tenant_id =
     Conn.make ~id ~fd:conn_fd ~tuple ~tenant_id
       ~worker_id:t.worker_id ~established:(Sim.now t.sim)
   in
-  Hashtbl.replace t.conn_table conn_fd conn;
+  Conn_table.add t.conn_table ~key:conn_fd ~aux:0 conn;
   Kernel.Epoll.add_conn t.ep ~fd:conn_fd;
   conn_add t 1;
   t.worker_stats.accepted <- t.worker_stats.accepted + 1;
@@ -440,7 +458,7 @@ let deliver t conn req =
    created fault connection that bypasses the accept path and the
    accept/conn-count stats — injections must not look like traffic. *)
 let fault_conn t =
-  let usable c = Conn.is_open c && Hashtbl.mem t.conn_table c.Conn.fd in
+  let usable c = Conn.is_open c && Conn_table.mem t.conn_table c.Conn.fd in
   match t.fault_conn with
   | Some c when usable c -> c
   | Some _ | None ->
@@ -458,7 +476,7 @@ let fault_conn t =
       Conn.make ~id ~fd:conn_fd ~tuple ~tenant_id:(-1)
         ~worker_id:t.worker_id ~established:(Sim.now t.sim)
     in
-    Hashtbl.replace t.conn_table conn_fd conn;
+    Conn_table.add t.conn_table ~key:conn_fd ~aux:0 conn;
     Kernel.Epoll.add_conn t.ep ~fd:conn_fd;
     (* Counted in the WST conn column (the injected work does occupy a
        connection slot) so the crash/restart repair arithmetic stays
@@ -475,7 +493,7 @@ let inject_stall t ~req_id ~cost =
          ~tenant_id:(-1))
 
 let reset_connection t conn =
-  if Conn.is_open conn && Hashtbl.mem t.conn_table conn.Conn.fd then
+  if Conn.is_open conn && Conn_table.mem t.conn_table conn.Conn.fd then
     do_close t conn Conn.Reset
 
 let restart t =
@@ -483,7 +501,7 @@ let restart t =
     let owned = conns t in
     List.iter
       (fun conn ->
-        Hashtbl.remove t.conn_table conn.Conn.fd;
+        ignore (Conn_table.remove t.conn_table conn.Conn.fd);
         conn.Conn.state <- Conn.Reset;
         t.worker_stats.resets <- t.worker_stats.resets + 1;
         if Trace.enabled () then

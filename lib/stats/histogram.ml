@@ -6,7 +6,12 @@ type t = {
   max_recordable : float;
   mutable n : int;
   mutable sum : float;
-  mutable sum_sq : float;
+  (* Running mean and centred second moment (Welford): the naive
+     sum-of-squares formula cancels catastrophically once samples reach
+     ~1e8 (ns timestamps), reporting 0 or NaN stddev for tight
+     distributions around a large mean. *)
+  mutable mean_acc : float;
+  mutable m2 : float;
   mutable minimum : float;
   mutable maximum : float;
 }
@@ -35,7 +40,8 @@ let create ?(significant_digits = 2) ?(max_value = 1e12) () =
     max_recordable = max_value;
     n = 0;
     sum = 0.0;
-    sum_sq = 0.0;
+    mean_acc = 0.0;
+    m2 = 0.0;
     minimum = infinity;
     maximum = neg_infinity;
   }
@@ -68,7 +74,9 @@ let record_n t v n =
     t.n <- t.n + n;
     let fn = float_of_int n in
     t.sum <- t.sum +. (v *. fn);
-    t.sum_sq <- t.sum_sq +. (v *. v *. fn);
+    let delta = v -. t.mean_acc in
+    t.mean_acc <- t.mean_acc +. (delta *. fn /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (v -. t.mean_acc) *. fn);
     if v < t.minimum then t.minimum <- v;
     if v > t.maximum then t.maximum <- v
   end
@@ -106,17 +114,33 @@ let percentile t p =
 let stddev t =
   if t.n < 2 then 0.0
   else
-    let n = float_of_int t.n in
-    let var = (t.sum_sq /. n) -. ((t.sum /. n) ** 2.0) in
+    let var = t.m2 /. float_of_int t.n in
     if var <= 0.0 then 0.0 else sqrt var
 
+let bucket_count t = Array.length t.buckets
+
 let merge_into ~src ~dst =
-  if Array.length src.buckets <> Array.length dst.buckets then
-    invalid_arg "Histogram.merge_into: layout mismatch";
+  (* Equal bucket-array lengths are not equal layouts: different
+     (significant_digits, max_value) pairs can coincide in length while
+     disagreeing on every bucket boundary, silently merging into
+     garbage.  Compare the derived layout parameters themselves. *)
+  if
+    Array.length src.buckets <> Array.length dst.buckets
+    || src.bucket_scale <> dst.bucket_scale
+    || src.linear_limit <> dst.linear_limit
+    || src.max_recordable <> dst.max_recordable
+  then invalid_arg "Histogram.merge_into: layout mismatch";
   Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets;
+  (* Chan et al. parallel combine for the centred moments. *)
+  if src.n > 0 then begin
+    let na = float_of_int dst.n and nb = float_of_int src.n in
+    let total = na +. nb in
+    let delta = src.mean_acc -. dst.mean_acc in
+    dst.m2 <- dst.m2 +. src.m2 +. (delta *. delta *. na *. nb /. total);
+    dst.mean_acc <- dst.mean_acc +. (delta *. nb /. total)
+  end;
   dst.n <- dst.n + src.n;
   dst.sum <- dst.sum +. src.sum;
-  dst.sum_sq <- dst.sum_sq +. src.sum_sq;
   if src.minimum < dst.minimum then dst.minimum <- src.minimum;
   if src.maximum > dst.maximum then dst.maximum <- src.maximum
 
@@ -124,7 +148,8 @@ let reset t =
   Array.fill t.buckets 0 (Array.length t.buckets) 0;
   t.n <- 0;
   t.sum <- 0.0;
-  t.sum_sq <- 0.0;
+  t.mean_acc <- 0.0;
+  t.m2 <- 0.0;
   t.minimum <- infinity;
   t.maximum <- neg_infinity
 

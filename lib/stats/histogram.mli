@@ -34,11 +34,20 @@ val percentile : t -> float -> float
     the bucket containing the p-th ordered observation; 0 when empty. *)
 
 val stddev : t -> float
-(** Approximate standard deviation from bucket midpoints. *)
+(** Population standard deviation of the {e exact} recorded values
+    (Welford running moments, stable for large-magnitude samples such
+    as ns timestamps); 0 for fewer than 2 samples. *)
+
+val bucket_count : t -> int
+(** Number of buckets in this histogram's layout (a cheap layout
+    fingerprint for tests; equal counts do {e not} imply equal
+    layouts). *)
 
 val merge_into : src:t -> dst:t -> unit
 (** Add all of [src]'s observations into [dst].  The two histograms
-    must have identical bucket layouts. *)
+    must have identical bucket layouts — same [significant_digits] and
+    [max_value]; anything else raises [Invalid_argument], including
+    layouts that merely coincide in bucket count. *)
 
 val reset : t -> unit
 

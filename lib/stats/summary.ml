@@ -27,8 +27,11 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p in 0..100";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Summary.percentile: NaN input")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   let rank = if rank < 1 then 1 else rank in
   sorted.(rank - 1)

@@ -15,8 +15,9 @@ val min_max : float array -> float * float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] is the nearest-rank percentile of a copy-sorted
-    [xs].  @raise Invalid_argument on an empty array or p outside
-    [0, 100]. *)
+    [xs] (total [Float.compare] order).  @raise Invalid_argument on an
+    empty array, p outside [0, 100], or any NaN sample — NaN has no
+    rank, so admitting it would make the result order-dependent. *)
 
 val coefficient_of_variation : float array -> float
 (** stddev / mean; 0 when the mean is 0. *)

@@ -174,6 +174,43 @@ val jsonl_sink : out_channel -> sink
 val text_sink : out_channel -> sink
 (** The {!render} form, one event per line — the golden-file format. *)
 
+(** {1 Binary trace format}
+
+    A compact fixed-width alternative to {!jsonl_sink} for
+    multi-million-event soaks: an 8-byte magic followed by framed
+    records of little-endian 64-bit words.  Each record's first word
+    packs a tag (low 8 bits) and a payload word count, so readers can
+    skip records without decoding them and the file is mmap-able.
+    Strings are interned — each distinct string is emitted once as a
+    definition record and referenced by integer id thereafter.
+    Decoding a binary trace yields the {e same} {!record} values the
+    JSONL sink would have serialised, event for event
+    ([hermes_sim trace-dump] renders them through the same
+    {!render} / {!json_of_record} paths). *)
+
+module Binary : sig
+  val magic : string
+  (** ["HTRCBIN1"] — the stream's first 8 bytes. *)
+
+  exception Corrupt of string
+  (** Raised by the decoder on truncation, unknown tags, undefined
+      string ids or out-of-range enum codes. *)
+
+  val sink : out_channel -> sink
+  (** Writes the magic immediately, then one framed record per
+      {!emit}.  Steady-state writing allocates no per-event OCaml
+      values beyond a reused scratch buffer.  Flushes on close; the
+      channel itself is not closed. *)
+
+  val iter_channel : in_channel -> (record -> unit) -> unit
+  (** Decode records in stream order, calling the callback on each
+      event record (string-definition records are consumed
+      internally).  @raise Corrupt on malformed input. *)
+
+  val read_channel : in_channel -> record list
+  val read_file : string -> record list
+end
+
 (** {1 Rendering} *)
 
 val render_event : event -> string

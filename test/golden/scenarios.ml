@@ -1,0 +1,116 @@
+(* Canonical golden-trace scenarios, shared between the golden_gen
+   executable (which diffs their text rendering against committed
+   .expected files) and test_trace (which replays them under the JSONL
+   and binary sinks to prove the two formats carry identical event
+   streams).
+
+   Each scenario builds a small canonical device and drives a fixed
+   workload under a fixed RNG seed, so the recorded trace is
+   bit-for-bit deterministic.
+
+   The scenarios pin the paper's *ordering* claims per decision, not in
+   aggregate:
+
+   - [lifo_herd]      epoll-exclusive wakeups always pick the wait
+                      queue's head — the LIFO concentration of section 2.2
+   - [rr_rotation]    the rr patch moves the woken worker to the tail,
+                      so wakeups rotate
+   - [hash_skew]      stateless reuseport hashing lands colliding flows
+                      on the same worker regardless of its load
+   - [filter_cascade] Hermes' Algo 1 cascade: per-stage survivor masks,
+                      the pushed bitmap, and Algo 2 picking among the
+                      survivors (the Fig. 9 running example) *)
+
+let ms = Engine.Sim_time.ms
+let us = Engine.Sim_time.us
+
+let make_device mode ~workers ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create seed in
+  let tenants = Netsim.Tenant.population ~n:1 ~base_dport:20000 in
+  let device = Lb.Device.create ~sim ~rng ~mode ~workers ~tenants () in
+  (device, sim)
+
+(* One-request-then-close client: established -> send -> done -> close. *)
+let client_events device ~cost =
+  {
+    Lb.Device.established =
+      (fun conn ->
+        let req =
+          Lb.Request.make ~id:(Lb.Device.fresh_id device) ~op:Lb.Request.Plain_proxy
+            ~size:200 ~cost ~tenant_id:conn.Lb.Conn.tenant_id
+        in
+        ignore (Lb.Device.send device conn req));
+    request_done = (fun conn _ -> Lb.Device.close_conn device conn);
+    closed = (fun _ -> ());
+    reset = (fun _ -> ());
+    dispatch_failed = (fun () -> ());
+  }
+
+(* [costs] cycles per-connection request costs; connects are spaced so
+   workers re-block between arrivals unless a cost keeps one busy. *)
+let drive device sim ~conns ~spacing ~costs ~limit =
+  for i = 0 to conns - 1 do
+    let cost = List.nth costs (i mod List.length costs) in
+    ignore
+      (Engine.Sim.schedule sim
+         ~at:(Engine.Sim_time.add spacing (spacing * i))
+         (fun () ->
+           Lb.Device.connect device ~tenant:0 ~events:(client_events device ~cost)))
+  done;
+  Engine.Sim.run_until sim ~limit
+
+type t = { name : string; header : string; run : unit -> unit }
+
+let lifo_herd () =
+  let device, sim = make_device Lb.Device.Exclusive ~workers:4 ~seed:7 in
+  Lb.Device.start device;
+  drive device sim ~conns:6 ~spacing:(ms 2) ~costs:[ us 100 ] ~limit:(ms 16)
+
+let rr_rotation () =
+  let device, sim = make_device Lb.Device.Epoll_rr ~workers:4 ~seed:7 in
+  Lb.Device.start device;
+  drive device sim ~conns:8 ~spacing:(ms 2) ~costs:[ us 100 ] ~limit:(ms 20)
+
+let hash_skew () =
+  let device, sim = make_device Lb.Device.Reuseport ~workers:4 ~seed:42 in
+  Lb.Device.start device;
+  drive device sim ~conns:10 ~spacing:(ms 1) ~costs:[ us 100 ] ~limit:(ms 14)
+
+let filter_cascade () =
+  let device, sim =
+    make_device (Lb.Device.Hermes Hermes.Config.default) ~workers:4 ~seed:42
+  in
+  Lb.Device.start device;
+  (* One long request hogs a worker, so FilterCount's theta cutoff has
+     real work to do while the others stay selectable. *)
+  drive device sim ~conns:8 ~spacing:(ms 1)
+    ~costs:[ us 100; ms 6; us 100; us 100 ]
+    ~limit:(ms 12)
+
+let all =
+  [
+    {
+      name = "lifo_herd";
+      header = "# scenario lifo_herd: epoll-exclusive, 4 workers, 6 spaced connects";
+      run = lifo_herd;
+    };
+    {
+      name = "rr_rotation";
+      header = "# scenario rr_rotation: epoll-rr, 4 workers, 8 spaced connects";
+      run = rr_rotation;
+    };
+    {
+      name = "hash_skew";
+      header = "# scenario hash_skew: plain reuseport, 4 workers, 10 hashed connects";
+      run = hash_skew;
+    };
+    {
+      name = "filter_cascade";
+      header =
+        "# scenario filter_cascade: Hermes (Algo 1 + Algo 2), 4 workers, mixed costs";
+      run = filter_cascade;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

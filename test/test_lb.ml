@@ -551,7 +551,7 @@ let test_device_degradation_sheds () =
 
 let test_device_sampling () =
   let device, sim = make_device Lb.Device.Reuseport in
-  Lb.Device.enable_sampling device ~every:(ms 10);
+  Lb.Device.enable_sampling device ~every:(ms 10) ();
   open_n_conns device sim 10 ~hold:false;
   Engine.Sim.run_until sim ~limit:(ms 105);
   let samples = Lb.Device.samples device in

@@ -102,6 +102,58 @@ let test_hist_stddev () =
   List.iter (Stats.Histogram.record h) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
   check Alcotest.bool "sd = 2" true (Float.abs (Stats.Histogram.stddev h -. 2.0) < 1e-6)
 
+let test_hist_stddev_large_offset () =
+  (* Regression: the old sum-of-squares formula cancels catastrophically
+     for tight distributions around a large mean — exactly the shape of
+     ns timestamps near 1e9.  Welford must agree with the exact
+     two-pass computation. *)
+  let base = 1e9 in
+  let offsets = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let xs = Array.map (fun o -> base +. o) offsets in
+  let h = Stats.Histogram.create () in
+  Array.iter (Stats.Histogram.record h) xs;
+  let exact = Stats.Summary.stddev xs in
+  check (Alcotest.float 1e-3) "welford matches exact at 1e9" exact
+    (Stats.Histogram.stddev h);
+  check Alcotest.bool "and it is the known value 2" true
+    (Float.abs (Stats.Histogram.stddev h -. 2.0) < 1e-3)
+
+let test_hist_merge_layout_mismatch () =
+  (* Same bucket-array length can arise from different layouts; the
+     check must compare layout parameters, not lengths. *)
+  let a = Stats.Histogram.create ~significant_digits:2 ~max_value:1e12 () in
+  let b = Stats.Histogram.create ~significant_digits:2 ~max_value:1e11 () in
+  Alcotest.check_raises "different max_value"
+    (Invalid_argument "Histogram.merge_into: layout mismatch") (fun () ->
+      Stats.Histogram.merge_into ~src:b ~dst:a);
+  let c = Stats.Histogram.create ~significant_digits:3 () in
+  Alcotest.check_raises "different resolution"
+    (Invalid_argument "Histogram.merge_into: layout mismatch") (fun () ->
+      Stats.Histogram.merge_into ~src:c ~dst:a)
+
+let test_hist_merge_moments () =
+  (* Chan's combine: stddev of a merged histogram equals the stddev of
+     recording everything into one, including with a large offset. *)
+  let xs = Array.init 500 (fun i -> 1e9 +. float_of_int (i mod 37)) in
+  let ys = Array.init 300 (fun i -> 1e9 +. float_of_int ((i * 7) mod 53)) in
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  let all = Stats.Histogram.create () in
+  Array.iter (Stats.Histogram.record a) xs;
+  Array.iter (Stats.Histogram.record b) ys;
+  Array.iter (Stats.Histogram.record all) xs;
+  Array.iter (Stats.Histogram.record all) ys;
+  Stats.Histogram.merge_into ~src:b ~dst:a;
+  check (Alcotest.float 1e-6) "merged stddev = combined stddev"
+    (Stats.Histogram.stddev all) (Stats.Histogram.stddev a);
+  check (Alcotest.float 1e-3) "merged mean = combined mean"
+    (Stats.Histogram.mean all) (Stats.Histogram.mean a);
+  (* merging into an empty histogram is the identity *)
+  let empty_dst = Stats.Histogram.create () in
+  Stats.Histogram.merge_into ~src:all ~dst:empty_dst;
+  check (Alcotest.float 1e-6) "merge into empty"
+    (Stats.Histogram.stddev all)
+    (Stats.Histogram.stddev empty_dst)
+
 let prop_hist_percentile_bounded =
   QCheck.Test.make ~name:"percentile within [min,max]" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 200) (float_range 0.0 1e9))
@@ -133,6 +185,25 @@ let test_summary_percentile () =
   check (Alcotest.float 0.0) "p99" 99.0 (Stats.Summary.percentile xs 99.0);
   check (Alcotest.float 0.0) "p100" 100.0 (Stats.Summary.percentile xs 100.0);
   check (Alcotest.float 0.0) "p0 -> first" 1.0 (Stats.Summary.percentile xs 0.0)
+
+let test_summary_percentile_total_order () =
+  (* [Array.sort compare] on floats is polymorphic comparison — it
+     happens to order plain floats, but NaN poisons it with
+     inconsistent ranks.  percentile must use the total Float.compare
+     order and reject NaN outright. *)
+  let xs = [| 5.0; 1.0; nan; 3.0 |] in
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Summary.percentile: NaN input") (fun () ->
+      ignore (Stats.Summary.percentile xs 50.0));
+  (* infinities have well-defined ranks *)
+  let ys = [| neg_infinity; 1.0; infinity; 2.0 |] in
+  check (Alcotest.float 0.0) "p0 is -inf" neg_infinity
+    (Stats.Summary.percentile ys 0.0);
+  check (Alcotest.float 0.0) "p100 is +inf" infinity
+    (Stats.Summary.percentile ys 100.0);
+  (* negative zero sorts before positive zero, result is still a zero *)
+  check (Alcotest.float 0.0) "signed zeros" 0.0
+    (Float.abs (Stats.Summary.percentile [| 0.0; -0.0 |] 50.0))
 
 let test_summary_empty () =
   check (Alcotest.float 0.0) "mean of empty" 0.0 (Stats.Summary.mean [||]);
@@ -246,12 +317,19 @@ let () =
           Alcotest.test_case "reset" `Quick test_hist_reset;
           Alcotest.test_case "cdf monotone" `Quick test_hist_cdf_monotone;
           Alcotest.test_case "stddev" `Quick test_hist_stddev;
+          Alcotest.test_case "stddev at 1e9 offset" `Quick
+            test_hist_stddev_large_offset;
+          Alcotest.test_case "merge layout mismatch" `Quick
+            test_hist_merge_layout_mismatch;
+          Alcotest.test_case "merge combines moments" `Quick test_hist_merge_moments;
           QCheck_alcotest.to_alcotest prop_hist_percentile_bounded;
         ] );
       ( "summary",
         [
           Alcotest.test_case "known values" `Quick test_summary_known;
           Alcotest.test_case "percentile" `Quick test_summary_percentile;
+          Alcotest.test_case "percentile total order" `Quick
+            test_summary_percentile_total_order;
           Alcotest.test_case "empty" `Quick test_summary_empty;
           Alcotest.test_case "jain fairness" `Quick test_jain_fairness;
           Alcotest.test_case "cov" `Quick test_cov;

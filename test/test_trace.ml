@@ -102,6 +102,204 @@ let test_jsonl_roundtrip_shape () =
     (Trace.json_of_record r)
 
 (* ------------------------------------------------------------------ *)
+(* JSON string escaping (RFC 8259)                                      *)
+
+(* Event strings are usually tame identifiers, but fault names and
+   verifier reasons are arbitrary; every escape class must survive.
+   Driven through [json_of_record] so the pinned output is exactly what
+   lands in trace files. *)
+let test_json_string_escaping () =
+  let json_of_fault fault =
+    Trace.json_of_record
+      { Trace.seq = 0; time = 0; event = Trace.Fault_inject { fault; worker = 0; arg = 0 } }
+  in
+  let cases =
+    [
+      ("plain", "\"plain\"");
+      ("with \"quotes\"", "\"with \\\"quotes\\\"\"");
+      ("back\\slash", "\"back\\\\slash\"");
+      ("line1\nline2", "\"line1\\nline2\"");
+      ("tab\there", "\"tab\\there\"");
+      ("cr\rlf", "\"cr\\rlf\"");
+      ("bell\bboy", "\"bell\\bboy\"");
+      ("form\012feed", "\"form\\ffeed\"");
+      ("nul\000end", "\"nul\\u0000end\"");
+      ("esc\027end", "\"esc\\u001bend\"");
+      (* UTF-8 passes through byte-for-byte: escaping is only for the
+         RFC's mandatory set *)
+      ("caf\xc3\xa9", "\"caf\xc3\xa9\"");
+    ]
+  in
+  List.iter
+    (fun (raw, expected_literal) ->
+      let line = json_of_fault raw in
+      let expected =
+        Printf.sprintf "{\"seq\":0,\"t\":0,\"ev\":\"fault.inject\",\"kind\":%s,\"worker\":0,\"arg\":0}"
+          expected_literal
+      in
+      check Alcotest.string (String.escaped raw) expected line)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec                                                         *)
+
+(* One record per constructor, exercising interning reuse (repeated
+   strings), empty and multi-element lists, negative ints (device-wide
+   faults carry worker = -1), floats, and int64 bitmaps. *)
+let all_constructor_records =
+  let ev i e = { Trace.seq = i; time = i * 1000; event = e } in
+  [
+    ev 0 (Trace.Wq_wake { policy = Trace.Lifo; queue = [ 3; 2; 1 ]; woken = [ 3 ]; steps = 1 });
+    ev 1 (Trace.Wq_wake { policy = Trace.Rr; queue = []; woken = []; steps = 0 });
+    ev 2 (Trace.Wq_wake { policy = Trace.All; queue = [ 1; 0 ]; woken = [ 1; 0 ]; steps = 2 });
+    ev 3 (Trace.Wq_wake { policy = Trace.Fifo; queue = [ 0 ]; woken = [ 0 ]; steps = 1 });
+    ev 4
+      (Trace.Epoll_dispatch
+         { worker = 2; events = [ (4, Trace.Accept_io, 2); (5, Trace.Read_io, 1) ] });
+    ev 5 (Trace.Epoll_dispatch { worker = 0; events = [] });
+    ev 6
+      (Trace.Sched_filter
+         { stage = "time"; cutoff = 1.25e9; survivors = 0xdeadbeefL; live = 64 });
+    ev 7 (Trace.Sched_filter { stage = "conn"; cutoff = -1.0; survivors = -1L; live = 0 });
+    ev 8 (Trace.Sched_result { bitmap = 0xeL; passed = 3; total = 4; after_time = 4 });
+    ev 9 (Trace.Map_update { map = "M_Sel"; key = 0; value = 0xfL });
+    ev 10
+      (Trace.Prog_run
+         { prog = "hermes_dispatch"; flow_hash = 0xab; outcome = "select"; cycles = 38 });
+    ev 11 (Trace.Rp_select { port = 80; flow_hash = 0xcd; via = Trace.Prog; slot = 2 });
+    ev 12 (Trace.Rp_select { port = 81; flow_hash = 0xce; via = Trace.Hash; slot = 0 });
+    ev 13 (Trace.Rp_drop { port = 80; flow_hash = 0xcd });
+    ev 14 (Trace.Accept { worker = 1; conn = 7 });
+    ev 15 (Trace.Close { worker = 1; conn = 7; reset = true });
+    ev 16 (Trace.Close { worker = 1; conn = 8; reset = false });
+    ev 17 (Trace.Wst_write { worker = 3; column = Trace.Avail; value = 123456789 });
+    ev 18 (Trace.Wst_write { worker = 3; column = Trace.Busy; value = 2 });
+    ev 19 (Trace.Wst_write { worker = 3; column = Trace.Conn; value = 0 });
+    ev 20 (Trace.Probe_timeout { tenant = 2; after = 300_000_000 });
+    ev 21
+      (Trace.Verifier_verdict
+         {
+           prog = "hermes_dispatch";
+           backend = "bytecode";
+           accepted = true;
+           insns = 41;
+           visited = 97;
+           proved = 5;
+           residual = 1;
+           reason = "";
+         });
+    ev 22
+      (Trace.Verifier_verdict
+         {
+           prog = "bad_prog";
+           backend = "ast";
+           accepted = false;
+           insns = 3;
+           visited = 0;
+           proved = 0;
+           residual = 0;
+           reason = "loop: back-edge at insn 2";
+         });
+    ev 23 (Trace.Fault_inject { fault = "hang"; worker = 3; arg = 600_000_000 });
+    ev 24 (Trace.Fault_inject { fault = "probe_loss"; worker = -1; arg = 0 });
+    ev 25 (Trace.Fault_clear { fault = "hang"; worker = 3 });
+  ]
+
+let with_temp_file f =
+  let path = Filename.temp_file "trace_test" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_binary path records =
+  let oc = open_out_bin path in
+  let sink = Trace.Binary.sink oc in
+  List.iter sink.Trace.write records;
+  sink.Trace.close ();
+  close_out oc
+
+let test_binary_roundtrip_all_constructors () =
+  with_temp_file (fun path ->
+      write_binary path all_constructor_records;
+      let decoded = Trace.Binary.read_file path in
+      check Alcotest.int "record count"
+        (List.length all_constructor_records)
+        (List.length decoded);
+      List.iter2
+        (fun original roundtripped ->
+          check Alcotest.string
+            (Printf.sprintf "record %d" original.Trace.seq)
+            (Trace.json_of_record original)
+            (Trace.json_of_record roundtripped);
+          if original <> roundtripped then
+            Alcotest.failf "structural mismatch at seq %d" original.Trace.seq)
+        all_constructor_records decoded)
+
+let test_binary_rejects_garbage () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTATRACE-------";
+      close_out oc;
+      (match Trace.Binary.read_file path with
+      | exception Trace.Binary.Corrupt _ -> ()
+      | _ -> Alcotest.fail "bad magic accepted");
+      (* valid magic, truncated record header *)
+      let oc = open_out_bin path in
+      output_string oc Trace.Binary.magic;
+      output_string oc "abc";
+      close_out oc;
+      match Trace.Binary.read_file path with
+      | exception Trace.Binary.Corrupt _ -> ()
+      | _ -> Alcotest.fail "truncated header accepted")
+
+(* The load-bearing equivalence: over every golden scenario, the binary
+   sink's decoded stream renders to exactly the lines the JSONL sink
+   writes.  The scenarios are deterministic, so two captures of the
+   same scenario see identical event streams. *)
+let test_binary_jsonl_equivalence () =
+  List.iter
+    (fun s ->
+      let jsonl_path = Filename.temp_file "scenario" ".jsonl" in
+      let bin_path = Filename.temp_file "scenario" ".bin" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove jsonl_path;
+          Sys.remove bin_path)
+        (fun () ->
+          let oc = open_out jsonl_path in
+          Trace.with_sink (Trace.jsonl_sink oc) s.Golden_scenarios.Scenarios.run;
+          close_out oc;
+          let oc = open_out_bin bin_path in
+          Trace.with_sink (Trace.Binary.sink oc) s.Golden_scenarios.Scenarios.run;
+          close_out oc;
+          let jsonl_lines =
+            let ic = open_in jsonl_path in
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+            in
+            go []
+          in
+          let decoded =
+            List.map Trace.json_of_record (Trace.Binary.read_file bin_path)
+          in
+          check Alcotest.int
+            (s.Golden_scenarios.Scenarios.name ^ ": event count")
+            (List.length jsonl_lines) (List.length decoded);
+          List.iteri
+            (fun i (expected, got) ->
+              if not (String.equal expected got) then
+                Alcotest.failf "%s: event %d differs\njsonl:  %s\nbinary: %s"
+                  s.Golden_scenarios.Scenarios.name i expected got)
+            (List.combine jsonl_lines decoded);
+          check Alcotest.bool
+            (s.Golden_scenarios.Scenarios.name ^ ": trace non-empty")
+            true
+            (List.length jsonl_lines > 0)))
+    Golden_scenarios.Scenarios.all
+
+(* ------------------------------------------------------------------ *)
 (* Wakeup-order conformance through the device stack                    *)
 
 (* Drive [conns] spaced connects through a 4-worker device and return
@@ -171,6 +369,15 @@ let () =
           Alcotest.test_case "seq and time stamping" `Quick test_seq_and_time_stamping;
           Alcotest.test_case "render stability" `Quick test_render_stability;
           Alcotest.test_case "jsonl shape" `Quick test_jsonl_roundtrip_shape;
+          Alcotest.test_case "json string escaping" `Quick test_json_string_escaping;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "roundtrip all constructors" `Quick
+            test_binary_roundtrip_all_constructors;
+          Alcotest.test_case "rejects garbage" `Quick test_binary_rejects_garbage;
+          Alcotest.test_case "binary = jsonl on golden scenarios" `Quick
+            test_binary_jsonl_equivalence;
         ] );
       ( "wakeup-order",
         [
