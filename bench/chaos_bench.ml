@@ -1,5 +1,6 @@
 (* Chaos regression scenarios: tail-latency impact of each fault class
-   under the five dispatch policies.
+   under every dispatch policy (all of [Hermes.Config.Mode] bar the
+   wake-all herd).
 
    Each scenario replays one single-class fault plan (same window:
    injection at 500 ms, 600 ms duration, inside a fixed 2 s horizon)
@@ -11,8 +12,8 @@
    changes, not for machine noise (there is none).
 
    The quick mode trims the mode sweep to the paper's three compared
-   policies; scenario timing is identical in both modes so CI results
-   stay comparable against the committed full baseline. *)
+   policies plus splice; scenario timing is identical in both modes so
+   CI results stay comparable against the committed full baseline. *)
 
 module ST = Engine.Sim_time
 module Plan = Faults.Plan
@@ -56,18 +57,38 @@ let classes =
     ("probe_loss", [ { Plan.at; action = Plan.Probe_loss { duration } } ]);
     ("accept_overflow",
      [ { Plan.at; action = Plan.Accept_overflow { worker = 1; duration } } ]);
+    (* Desync alone leaves nothing stale; it must overlap the teardown
+       sweeps of an isolate/recover arc so lost sock_deletes actually
+       strand kernel entries.  Strict conn-id verification (the splice
+       default) must keep violations at zero even so. *)
+    ("splice_desync", Plan.[
+       { at; action = Splice_desync { worker = 1; duration } };
+       { at = at + ST.ms 100; action = Crash { worker = 1 } };
+       { at = at + ST.ms 200; action = Isolate { worker = 1 } };
+       { at = at + duration; action = Recover { worker = 1 } };
+     ]);
   ]
 
+(* Built from the single mode list in [Hermes.Config.Mode] so a new
+   device mode cannot silently skip the chaos matrix.  Wake-all is
+   excluded everywhere (thundering-herd runs are far too slow for a
+   regression gate); quick trims to the paper's three compared
+   policies plus splice, whose fault story this bench exists to pin. *)
 let modes ~quick =
-  [
-    ("hermes", Lb.Device.Hermes Hermes.Config.default);
-    ("exclusive", Lb.Device.Exclusive);
-    ("reuseport", Lb.Device.Reuseport);
-  ]
-  @
-  if quick then []
-  else
-    [ ("epoll-rr", Lb.Device.Epoll_rr); ("io_uring-fifo", Lb.Device.Io_uring_fifo) ]
+  List.filter_map
+    (fun m ->
+      let keep =
+        match m with
+        | Hermes.Config.Mode.Wake_all -> false
+        | Hermes.Config.Mode.Hermes | Hermes.Config.Mode.Exclusive
+        | Hermes.Config.Mode.Reuseport | Hermes.Config.Mode.Splice ->
+          true
+        | Hermes.Config.Mode.Epoll_rr | Hermes.Config.Mode.Io_uring_fifo ->
+          not quick
+      in
+      if keep then Some (Hermes.Config.Mode.to_string m, Lb.Device.of_mode m)
+      else None)
+    Hermes.Config.Mode.all
 
 let run_all ~quick () =
   List.concat_map

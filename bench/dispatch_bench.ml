@@ -203,6 +203,8 @@ let outcome_code = function
   | Kernel.Ebpf.Selected s -> 1 + (31 * Kernel.Socket.id s)
   | Kernel.Ebpf.Fell_back -> 0
   | Kernel.Ebpf.Dropped -> 2
+  | Kernel.Ebpf.Redirected { conn; target; copy } ->
+    3 + (31 * conn) + (127 * target) + copy
 
 let ebpf_setup () =
   let bitmap = Kernel.Bitops.bits_of_list [ 1; 3; 8; 13; 21; 34; 55; 62 ] in

@@ -36,7 +36,10 @@
        --dispatch-json=BENCH_DISPATCH_CI.json --dispatch-check=BENCH_PR4.json
      dune exec bench/main.exe -- --cluster-only --cluster-json  # BENCH_PR6.json
      dune exec bench/main.exe -- --cluster-only --quick \
-       --cluster-json=BENCH_CLUSTER_CI.json --cluster-check=BENCH_PR6.json *)
+       --cluster-json=BENCH_CLUSTER_CI.json --cluster-check=BENCH_PR6.json
+     dune exec bench/main.exe -- --splice-only --splice-json   # BENCH_PR9.json
+     dune exec bench/main.exe -- --splice-only --quick \
+       --splice-json=BENCH_SPLICE_CI.json --splice-check=BENCH_PR9.json *)
 
 open Bechamel
 open Toolkit
@@ -233,10 +236,19 @@ let () =
   let ncheck_file =
     opt_file ~flag:"--conn-check" ~default:"BENCH_PR8.json" args
   in
+  let splice_only = List.mem "--splice-only" args in
+  let no_splice = List.mem "--no-splice" args in
+  let pjson_file =
+    opt_file ~flag:"--splice-json" ~default:"BENCH_PR9.json" args
+  in
+  let pcheck_file =
+    opt_file ~flag:"--splice-check" ~default:"BENCH_PR9.json" args
+  in
   let ids = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
   if
     (not micro_only) && (not sched_only) && (not dispatch_only)
-    && (not chaos_only) && (not cluster_only) && not conn_only
+    && (not chaos_only) && (not cluster_only) && (not conn_only)
+    && not splice_only
   then begin
     match ids with
     | [] -> Experiments.Registry.run_all ~quick ()
@@ -252,7 +264,8 @@ let () =
   end;
   if
     (not no_sched) && (not micro_only) && (not dispatch_only)
-    && (not chaos_only) && (not cluster_only) && not conn_only
+    && (not chaos_only) && (not cluster_only) && (not conn_only)
+    && not splice_only
   then begin
     let results = Sched_bench.run_all ~quick () in
     Sched_bench.print_table results;
@@ -265,7 +278,8 @@ let () =
   end;
   if
     (not no_dispatch) && (not micro_only) && (not sched_only)
-    && (not chaos_only) && (not cluster_only) && not conn_only
+    && (not chaos_only) && (not cluster_only) && (not conn_only)
+    && not splice_only
   then begin
     let results = Dispatch_bench.run_all ~quick () in
     Dispatch_bench.print_table results;
@@ -279,7 +293,8 @@ let () =
   end;
   if
     (not no_chaos) && (not micro_only) && (not sched_only)
-    && (not dispatch_only) && (not cluster_only) && not conn_only
+    && (not dispatch_only) && (not cluster_only) && (not conn_only)
+    && not splice_only
   then begin
     let results = Chaos_bench.run_all ~quick () in
     Chaos_bench.print_table results;
@@ -292,7 +307,8 @@ let () =
   end;
   if
     (not no_cluster) && (not micro_only) && (not sched_only)
-    && (not dispatch_only) && (not chaos_only) && not conn_only
+    && (not dispatch_only) && (not chaos_only) && (not conn_only)
+    && not splice_only
   then begin
     let results = Cluster_bench.run_all ~quick () in
     Cluster_bench.print_table results;
@@ -306,7 +322,8 @@ let () =
   end;
   if
     (not no_conn) && (not micro_only) && (not sched_only)
-    && (not dispatch_only) && (not chaos_only) && not cluster_only
+    && (not dispatch_only) && (not chaos_only) && (not cluster_only)
+    && not splice_only
   then begin
     let results = Conn_bench.run_all ~quick () in
     Conn_bench.print_table results;
@@ -318,6 +335,21 @@ let () =
     | None -> ()
   end;
   if
+    (not no_splice) && (not micro_only) && (not sched_only)
+    && (not dispatch_only) && (not chaos_only) && (not cluster_only)
+    && not conn_only
+  then begin
+    let results = Splice_bench.run_all ~quick () in
+    Splice_bench.print_table results;
+    (match pjson_file with
+    | Some file -> Splice_bench.write_json ~file results
+    | None -> ());
+    match pcheck_file with
+    | Some baseline -> if not (Splice_bench.check ~baseline results) then exit 1
+    | None -> ()
+  end;
+  if
     (not no_micro) && (not sched_only) && (not dispatch_only)
-    && (not chaos_only) && (not cluster_only) && not conn_only
+    && (not chaos_only) && (not cluster_only) && (not conn_only)
+    && not splice_only
   then run_micro ()

@@ -144,11 +144,20 @@ let verify_cmd =
           | Hermes.Groups.By_dst_port -> "port"),
         Hermes.Groups.make_prog g ~m_socket ~min_selected:2 )
     in
+    let splice slots copy =
+      let m_splice =
+        Kernel.Ebpf_maps.Sockmap.create ~name:"M_splice" ~size:slots
+      in
+      ( Printf.sprintf "splice_s%d_c%d" slots copy,
+        Hermes.Dispatch.splice_prog ~m_splice ~copy () )
+    in
     List.map single [ 4; 8; 16; 32; 64 ]
     @ [
         two_level 8 4 Hermes.Groups.By_flow_hash;
         two_level 128 64 Hermes.Groups.By_flow_hash;
         two_level 128 64 Hermes.Groups.By_dst_port;
+        splice 4096 0;
+        splice 4096 256;
       ]
   in
   let src_root_arg =
@@ -275,8 +284,10 @@ let chaos_cmd =
       & info [ "seed" ] ~docv:"N" ~doc)
   in
   let mode_arg =
-    let doc = "Dispatch mode: $(docv) is one of hermes, exclusive, reuseport, \
-               epoll-rr, wake-all, io_uring-fifo, or $(b,all) for the sweep." in
+    let doc =
+      Printf.sprintf "Dispatch mode: $(docv) is one of %s, or $(b,all) for the sweep."
+        (String.concat ", " Hermes.Config.Mode.names)
+    in
     Arg.(value & opt string "hermes" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
   let workers_arg =
@@ -290,23 +301,20 @@ let chaos_cmd =
     let doc = "Print the effective plan and exit without running." in
     Arg.(value & flag & info [ "show-plan" ] ~doc)
   in
-  let parse_mode = function
-    | "hermes" -> Ok [ Lb.Device.Hermes Hermes.Config.default ]
-    | "exclusive" -> Ok [ Lb.Device.Exclusive ]
-    | "reuseport" -> Ok [ Lb.Device.Reuseport ]
-    | "epoll-rr" -> Ok [ Lb.Device.Epoll_rr ]
-    | "wake-all" -> Ok [ Lb.Device.Wake_all ]
-    | "io_uring-fifo" -> Ok [ Lb.Device.Io_uring_fifo ]
-    | "all" ->
+  let parse_mode m =
+    if String.equal m "all" then
+      (* The sweep skips wake-all: its thundering herd makes chaos runs
+         pathologically slow without telling us anything new. *)
       Ok
-        [
-          Lb.Device.Hermes Hermes.Config.default;
-          Lb.Device.Exclusive;
-          Lb.Device.Reuseport;
-          Lb.Device.Epoll_rr;
-          Lb.Device.Io_uring_fifo;
-        ]
-    | m -> Error (Printf.sprintf "unknown mode %S" m)
+        (List.filter_map
+           (function
+             | Hermes.Config.Mode.Wake_all -> None
+             | md -> Some (Lb.Device.of_mode md))
+           Hermes.Config.Mode.all)
+    else
+      match Hermes.Config.Mode.of_string m with
+      | Some md -> Ok [ Lb.Device.of_mode md ]
+      | None -> Error (Printf.sprintf "unknown mode %S" m)
   in
   let run plan_file seed mode workers show_plan trace =
     let plan =
@@ -420,8 +428,8 @@ let cluster_cmd =
   in
   let mode_arg =
     let doc =
-      "Dispatch mode for every member: hermes, exclusive, reuseport, \
-       epoll-rr, wake-all or io_uring-fifo."
+      Printf.sprintf "Dispatch mode for every member: one of %s."
+        (String.concat ", " Hermes.Config.Mode.names)
     in
     Arg.(value & opt string "reuseport" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
@@ -433,14 +441,10 @@ let cluster_cmd =
     in
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
   in
-  let parse_single_mode = function
-    | "hermes" -> Ok (Lb.Device.Hermes Hermes.Config.default)
-    | "exclusive" -> Ok Lb.Device.Exclusive
-    | "reuseport" -> Ok Lb.Device.Reuseport
-    | "epoll-rr" -> Ok Lb.Device.Epoll_rr
-    | "wake-all" -> Ok Lb.Device.Wake_all
-    | "io_uring-fifo" -> Ok Lb.Device.Io_uring_fifo
-    | m -> Error (Printf.sprintf "unknown mode %S" m)
+  let parse_single_mode m =
+    match Hermes.Config.Mode.of_string m with
+    | Some md -> Ok (Lb.Device.of_mode md)
+    | None -> Error (Printf.sprintf "unknown mode %S" m)
   in
   let run devices workers shards seed duration_ms conns reqs lookahead_us
       mode_name plan_file trace =

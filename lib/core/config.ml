@@ -1,3 +1,28 @@
+module Mode = struct
+  type t =
+    | Hermes
+    | Exclusive
+    | Reuseport
+    | Epoll_rr
+    | Wake_all
+    | Io_uring_fifo
+    | Splice
+
+  let all = [ Hermes; Exclusive; Reuseport; Epoll_rr; Wake_all; Io_uring_fifo; Splice ]
+
+  let to_string = function
+    | Hermes -> "hermes"
+    | Exclusive -> "exclusive"
+    | Reuseport -> "reuseport"
+    | Epoll_rr -> "epoll-rr"
+    | Wake_all -> "wake-all"
+    | Io_uring_fifo -> "io_uring-fifo"
+    | Splice -> "splice"
+
+  let of_string s = List.find_opt (fun m -> String.equal (to_string m) s) all
+  let names = List.map to_string all
+end
+
 type filter = By_time | By_conn | By_event
 
 type t = {

@@ -6,6 +6,35 @@
     plain reuseport when fewer than two workers pass the coarse filter
     (Algo 2's [n > 1] test). *)
 
+(** The one source of truth for the simulator's dispatch-mode names:
+    command-line parsing ([hermes_sim]), bench matrices and experiment
+    tables all go through {!Mode} so a new mode registers once.
+    {!Lb.Device.of_mode} maps a mode to its device configuration. *)
+module Mode : sig
+  type t =
+    | Hermes  (** the paper's userspace-directed notification cascade *)
+    | Exclusive
+    | Reuseport
+    | Epoll_rr
+    | Wake_all
+    | Io_uring_fifo
+    | Splice
+        (** in-kernel L7 splicing: established connections are handed
+            off to a sockmap redirect program; userspace keeps the
+            control plane *)
+
+  val all : t list
+  (** Every mode, in canonical display order. *)
+
+  val to_string : t -> string
+
+  val of_string : string -> t option
+  (** Inverse of {!to_string} ([None] on an unknown name). *)
+
+  val names : string list
+  (** [List.map to_string all]. *)
+end
+
 type filter = By_time | By_conn | By_event
 
 type t = {

@@ -27,3 +27,20 @@ let single_group ~m_sel ~m_socket ~min_selected =
     name = "hermes_dispatch";
     body = dispatch_body ~m_sel ~key:0 ~m_socket ~base:0 ~min_selected;
   }
+
+let splice_prog ~m_splice ?(copy = 0) () =
+  if copy < 0 || copy > Kernel.Ebpf.copy_limit then
+    invalid_arg "Dispatch.splice_prog: copy out of range";
+  let size = Kernel.Ebpf_maps.Sockmap.size m_splice in
+  (* Key the sockmap by flow hash, masked/reduced so the verifier can
+     prove the bounds statically (a power-of-two size verifies with
+     zero residual runtime checks: the And pins the tnum). *)
+  let key =
+    if size land (size - 1) = 0 then
+      Band (Flow_hash, Const (Int64.of_int (size - 1)))
+    else Mod (Band (Flow_hash, Const 0x7FFFFFFFL), Const (Int64.of_int size))
+  in
+  {
+    name = "hermes_splice";
+    body = Redirect (m_splice, key, Const (Int64.of_int copy), Fallback);
+  }

@@ -36,3 +36,23 @@ val dispatch_body :
 (** One group's dispatch logic: bitmap at [key] in [m_sel], selected
     worker id offset by [base] into [m_socket].  Building block for
     {!Groups.make_prog}. *)
+
+val splice_prog :
+  m_splice:Kernel.Ebpf_maps.Sockmap.t -> ?copy:int -> unit -> Kernel.Ebpf.prog
+(** The splice-mode data-plane program, attached to established
+    connections:
+
+    {v
+    key = flow_hash & (size - 1)        (size a power of two)
+    if bpf_sk_redirect_map(M_splice, key):
+        bpf_sk_copy(copy)               (selective userspace copy)
+        return REDIRECT
+    else:
+        fall back to the userspace proxy path
+    v}
+
+    [copy] (default 0) is the per-chunk byte budget copied up for
+    inspection; out of [0, {!Kernel.Ebpf.copy_limit}] raises.  With a
+    power-of-two sockmap the program verifies with {e zero} residual
+    runtime checks — the mask discharges the [Sockmap_key] obligation
+    and the constant [copy] the [Copy_len] one. *)

@@ -17,6 +17,11 @@ let all =
     { id = Fig12.name; title = Fig12.title; run = Fig12.run };
     { id = Fig13.name; title = Fig13.title; run = Fig13.run };
     { id = Table5.name; title = Table5.title; run = Table5.run };
+    {
+      id = Splice_cycles.name;
+      title = Splice_cycles.title;
+      run = Splice_cycles.run;
+    };
     { id = Fig14.name; title = Fig14.title; run = Fig14.run };
     { id = Fig15.name; title = Fig15.title; run = Fig15.run };
     { id = Fig_a5.name; title = Fig_a5.title; run = Fig_a5.run };

@@ -30,6 +30,11 @@ let default_plan =
       { at = ms 500; action = Hang { worker = 1; duration = ms 600 } };
       { at = ms 1500; action = Wst_stall { worker = 2; duration = ms 600 } };
       { at = ms 2300; action = Ebpf_fail { duration = ms 400 } };
+      (* Desync overlaps the crash arc on the same worker: teardown
+         deletes for worker 3's connections are lost exactly when the
+         isolate/restart sweeps fire.  Strict splice verification must
+         keep violations at zero regardless; other modes no-op. *)
+      { at = ms 2900; action = Splice_desync { worker = 3; duration = ms 1000 } };
       { at = ms 3000; action = Crash { worker = 3 } };
       { at = ms 3200; action = Isolate { worker = 3 } };
       { at = ms 3800; action = Recover { worker = 3 } };

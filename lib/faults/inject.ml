@@ -78,6 +78,9 @@ let fire ~device (entry : Plan.entry) =
   | Plan.Accept_overflow { worker; duration } ->
     Device.overflow_accept_queue device ~worker;
     clear_after duration (fun () -> Device.restore_accept_queue device ~worker)
+  | Plan.Splice_desync { worker; duration } ->
+    Device.set_splice_desync device ~worker true;
+    clear_after duration (fun () -> Device.set_splice_desync device ~worker false)
 
 let arm ~device ~plan =
   let sim = Device.sim device in

@@ -46,6 +46,13 @@ type t = {
   active_excl : (int, exclusion) Hashtbl.t;  (* worker -> current window *)
   mutable all_excl : exclusion list;  (* reverse injection order *)
   mutable fallbacks : fallback list;  (* reverse injection order *)
+  (* Splice invariant: once a [Splice_teardown] names a connection, no
+     later [Splice_redirect] may — conn ids are never reused, so the
+     set only grows. *)
+  torn_down : (int, Sim_time.t) Hashtbl.t;  (* conn id -> teardown time *)
+  mutable splice_redirects : int;
+  mutable stale_splice_redirects : int;
+  mutable first_stale_redirect : string option;
 }
 
 let create config =
@@ -57,6 +64,10 @@ let create config =
     active_excl = Hashtbl.create 8;
     all_excl = [];
     fallbacks = [];
+    torn_down = Hashtbl.create 256;
+    splice_redirects = 0;
+    stale_splice_redirects = 0;
+    first_stale_redirect = None;
   }
 
 let current_fallback t =
@@ -153,6 +164,22 @@ let observe t (r : Trace.record) =
       Hashtbl.remove t.open_conns conn;
       t.completed_closes <- t.completed_closes + 1
     end
+  | Trace.Splice_teardown { conn; _ } ->
+    if not (Hashtbl.mem t.torn_down conn) then
+      Hashtbl.replace t.torn_down conn r.time
+  | Trace.Splice_redirect { conn; worker; bytes; _ } ->
+    t.splice_redirects <- t.splice_redirects + 1;
+    (match Hashtbl.find_opt t.torn_down conn with
+    | None -> ()
+    | Some torn_at ->
+      t.stale_splice_redirects <- t.stale_splice_redirects + 1;
+      if t.first_stale_redirect = None then
+        t.first_stale_redirect <-
+          Some
+            (Printf.sprintf
+               "%d bytes to conn %d on worker %d at %s (torn down at %s)"
+               bytes conn worker (Sim_time.to_string r.time)
+               (Sim_time.to_string torn_at)))
   | _ -> ()
 
 (* An exclusion window is enforceable only if the fault outlived the
@@ -169,6 +196,8 @@ type report = {
   lost : int;
   exclusions : exclusion list;
   fallbacks : fallback list;
+  splice_redirects : int;
+  stale_splice_redirects : int;
   violations : string list;
 }
 
@@ -212,18 +241,27 @@ let finalize t ~device =
         add "bitmap dispatch never resumed after ebpf restore at %s"
           (Sim_time.to_string (Option.get fb.restored_at)))
     fallbacks;
+  if t.stale_splice_redirects > 0 then
+    add "%d splice redirects hit torn-down connections (first: %s)"
+      t.stale_splice_redirects
+      (Option.value t.first_stale_redirect ~default:"?");
   {
     accepted = t.accepted;
     completed_closes = t.completed_closes;
     lost;
     exclusions;
     fallbacks;
+    splice_redirects = t.splice_redirects;
+    stale_splice_redirects = t.stale_splice_redirects;
     violations = List.rev !violations;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf "accepted %d, closed %d, lost %d@," r.accepted
     r.completed_closes r.lost;
+  if r.splice_redirects > 0 then
+    Format.fprintf ppf "splice: %d redirects, %d stale@," r.splice_redirects
+      r.stale_splice_redirects;
   List.iter
     (fun e ->
       let converged =

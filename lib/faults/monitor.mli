@@ -21,6 +21,11 @@
     - {b No lost connections}: every accepted connection is eventually
       closed, reset, or still owned by a worker at finalization —
       none silently vanish.
+    - {b Splice teardown}: once a [Splice_teardown] names a
+      connection, no later [Splice_redirect] may name it — a stale
+      sockmap entry forwarding bytes to a torn-down connection (or the
+      restarted worker behind it) is exactly the misdelivery the
+      userspace-directed teardown protocol exists to prevent.
 
     The monitor only reads trace records plus one final sweep of the
     device's connection tables, so it cannot perturb the run it
@@ -92,6 +97,10 @@ type report = {
   lost : int;
   exclusions : exclusion list;  (** injection order *)
   fallbacks : fallback list;  (** injection order *)
+  splice_redirects : int;  (** in-kernel redirects observed *)
+  stale_splice_redirects : int;
+      (** redirects naming an already-torn-down connection — each one
+          is a violation *)
   violations : string list;  (** empty iff every invariant held *)
 }
 

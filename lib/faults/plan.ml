@@ -12,6 +12,7 @@ type action =
   | Ebpf_fail of { duration : Sim_time.t }
   | Probe_loss of { duration : Sim_time.t }
   | Accept_overflow of { worker : int; duration : Sim_time.t }
+  | Splice_desync of { worker : int; duration : Sim_time.t }
 
 type entry = { at : Sim_time.t; action : action }
 type t = entry list
@@ -28,12 +29,13 @@ let kind = function
   | Ebpf_fail _ -> "ebpf_fail"
   | Probe_loss _ -> "probe_loss"
   | Accept_overflow _ -> "accept_overflow"
+  | Splice_desync _ -> "splice_desync"
 
 let kinds =
   [
     "crash"; "isolate"; "recover"; "hang"; "gc_pause"; "slowdown";
     "wst_stall"; "map_sync_delay"; "ebpf_fail"; "probe_loss";
-    "accept_overflow";
+    "accept_overflow"; "splice_desync";
   ]
 
 let worker_of = function
@@ -44,7 +46,8 @@ let worker_of = function
   | Gc_pause { worker; _ }
   | Slowdown { worker; _ }
   | Wst_stall { worker; _ }
-  | Accept_overflow { worker; _ } ->
+  | Accept_overflow { worker; _ }
+  | Splice_desync { worker; _ } ->
     Some worker
   | Map_sync_delay _ | Ebpf_fail _ | Probe_loss _ -> None
 
@@ -57,7 +60,8 @@ let duration_of = function
   | Map_sync_delay { duration; _ }
   | Ebpf_fail { duration }
   | Probe_loss { duration }
-  | Accept_overflow { duration; _ } ->
+  | Accept_overflow { duration; _ }
+  | Splice_desync { duration; _ } ->
     Some duration
 
 let stops_availability = function
@@ -108,7 +112,8 @@ let entry_to_string { at; action } =
     | Hang { worker; duration }
     | Gc_pause { worker; duration }
     | Wst_stall { worker; duration }
-    | Accept_overflow { worker; duration } ->
+    | Accept_overflow { worker; duration }
+    | Splice_desync { worker; duration } ->
       Printf.sprintf "worker=%d duration=%s" worker (time duration)
     | Slowdown { worker; factor; duration } ->
       Printf.sprintf "worker=%d factor=%d duration=%s" worker factor
@@ -212,6 +217,10 @@ let parse_entry ~line s =
               let* worker = int_arg "worker" in
               let* duration = time_arg "duration" in
               Ok (Accept_overflow { worker; duration })
+            | "splice_desync" ->
+              let* worker = int_arg "worker" in
+              let* duration = time_arg "duration" in
+              Ok (Splice_desync { worker; duration })
             | k -> fail "unknown fault kind %S" k
           in
           (match action with

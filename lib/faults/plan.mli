@@ -58,6 +58,13 @@ type action =
   | Accept_overflow of { worker : int; duration : Engine.Sim_time.t }
       (** The worker's listening backlogs clamp to one pending
           connection, so handshake bursts overflow and drop. *)
+  | Splice_desync of { worker : int; duration : Engine.Sim_time.t }
+      (** Sockmap deletes targeting the worker are silently lost
+          ({!Lb.Device.set_splice_desync}): teardowns leave stale
+          kernel entries behind.  The splice plane's strict conn-id
+          verification must keep any stale entry from redirecting
+          bytes; disabling it lets the monitors demonstrate the
+          misdelivery.  No-op outside splice mode. *)
 
 type entry = { at : Engine.Sim_time.t; action : action }
 type t = entry list

@@ -25,8 +25,13 @@ type ret =
   | Drop
   | If of cmp * expr * expr * ret * ret
   | Let_ret of string * expr * ret
+  | Redirect of Ebpf_maps.Sockmap.t * expr * expr * ret
 
 type prog = { name : string; body : ret }
+
+(* bpf_sk_copy bound: at most one 64 KiB socket buffer's worth of
+   payload is pulled up to userspace per redirect. *)
+let copy_limit = 65536
 
 type verified = { vname : string; vbody : ret; insns : int }
 
@@ -74,6 +79,10 @@ let rec ret_stats env = function
     let nb, db = expr_stats env bound in
     let n, d = ret_stats (name :: env) body in
     (nb + n + 1, 1 + max db d)
+  | Redirect (_, key, copy, miss) ->
+    let nk, dk = expr_stats env key and nc, dc = expr_stats env copy in
+    let nm, dm = ret_stats env miss in
+    (nk + nc + nm + 1, 1 + max (max dk dc) dm)
 
 let verify prog =
   let result =
@@ -121,7 +130,11 @@ let insn_count v = v.insns
 
 type ctx = { flow_hash : int; dst_port : int }
 
-type outcome = Selected of Socket.t | Fell_back | Dropped
+type outcome =
+  | Selected of Socket.t
+  | Fell_back
+  | Dropped
+  | Redirected of { conn : int; target : int; copy : int }
 
 exception Fault
 
@@ -224,11 +237,23 @@ let rec eval_ret ctx env cycles = function
   | Let_ret (name, bound, body) ->
     let v = eval_expr ctx env cycles bound in
     eval_ret ctx ((name, v) :: env) cycles body
+  | Redirect (map, key, copy, miss) ->
+    let k = Int64.to_int (eval_expr ctx env cycles key) in
+    cycles := !cycles + 5;
+    if k < 0 || k >= Ebpf_maps.Sockmap.size map then raise Fault;
+    (match Ebpf_maps.Sockmap.get map k with
+    | None -> eval_ret ctx env cycles miss
+    | Some e ->
+      let c = Int64.to_int (eval_expr ctx env cycles copy) in
+      cycles := !cycles + 5;
+      if c < 0 || c > copy_limit then raise Fault;
+      Redirected { conn = e.conn; target = e.target; copy = c })
 
 let outcome_name = function
   | Selected _ -> "select"
   | Fell_back -> "fallback"
   | Dropped -> "drop"
+  | Redirected _ -> "redirect"
 
 let run v ctx =
   let cycles = ref 0 in

@@ -50,8 +50,19 @@ type ret =
   | If of cmp * expr * expr * ret * ret
   | Let_ret of string * expr * ret
       (** bind a register scoped over a return branch *)
+  | Redirect of Ebpf_maps.Sockmap.t * expr * expr * ret
+      (** [Redirect (map, key, copy, miss)]:
+          [bpf_sk_redirect_map(M_splice, key)] followed by
+          [bpf_sk_copy(copy)] — splice the packet to the sockmap entry
+          under [key], pulling at most [copy] payload bytes up to
+          userspace; an unoccupied slot falls through to [miss].  An
+          out-of-range key or copy length faults the program. *)
 
 type prog = { name : string; body : ret }
+
+val copy_limit : int
+(** Upper bound on a [Redirect] copy length (65536 — one socket
+    buffer); the verifier demands a proof or a runtime guard. *)
 
 type verified
 (** A program that passed verification; the only runnable form. *)
@@ -76,10 +87,18 @@ val insn_count : verified -> int
 
 type ctx = { flow_hash : int; dst_port : int }
 
-type outcome = Selected of Socket.t | Fell_back | Dropped
+type outcome =
+  | Selected of Socket.t
+  | Fell_back
+  | Dropped
+  | Redirected of { conn : int; target : int; copy : int }
+      (** the packet was spliced in-kernel to connection [conn]'s
+          owner [target], with [copy] payload bytes copied up to
+          userspace for inspection *)
 
 val outcome_name : outcome -> string
-(** "select" / "fallback" / "drop" — the trace rendering. *)
+(** "select" / "fallback" / "drop" / "redirect" — the trace
+    rendering. *)
 
 val run : verified -> ctx -> outcome * int
 (** Execute; the second component is the cycle estimate.  A runtime

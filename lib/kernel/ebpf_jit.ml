@@ -30,6 +30,9 @@ type state = {
   stack : i64s;
   mutable sel : Socket.t option;
       (* holds the sockarray's own [Some] cell — never a fresh one *)
+  mutable redir : Ebpf_maps.Sockmap.entry option;
+      (* likewise: the sockmap's own [Some] cell *)
+  mutable copy_len : int;
   mutable cycles : int;
   mutable flow_hash : int;
   mutable dst_port : int;
@@ -52,6 +55,8 @@ let compile (v : Ebpf_vm.verified) =
       regs = A.create Bigarray.Int64 Bigarray.c_layout 10;
       stack = A.create Bigarray.Int64 Bigarray.c_layout Ebpf_vm.max_stack_slots;
       sel = None;
+      redir = None;
+      copy_len = 0;
       cycles = 0;
       flow_hash = 0;
       dst_port = 0;
@@ -367,6 +372,42 @@ let compile (v : Ebpf_vm.verified) =
           if n <= 0 then raise Fault;
           A.unsafe_set st.regs 0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n));
           next ()
+      | Ebpf_vm.Call (Ebpf_vm.Sk_redirect map) ->
+        let size = Ebpf_maps.Sockmap.size map in
+        if safe then fun () ->
+          st.cycles <- st.cycles + 5;
+          (match
+             Ebpf_maps.Sockmap.unsafe_get map
+               (Int64.to_int (A.unsafe_get st.regs 1))
+           with
+          | None -> A.unsafe_set st.regs 0 0L
+          | Some _ as r ->
+            st.redir <- r;
+            A.unsafe_set st.regs 0 1L);
+          next ()
+        else fun () ->
+          st.cycles <- st.cycles + 5;
+          let k = Int64.to_int (A.unsafe_get st.regs 1) in
+          if k < 0 || k >= size then raise Fault;
+          (match Ebpf_maps.Sockmap.unsafe_get map k with
+          | None -> A.unsafe_set st.regs 0 0L
+          | Some _ as r ->
+            st.redir <- r;
+            A.unsafe_set st.regs 0 1L);
+          next ()
+      | Ebpf_vm.Call Ebpf_vm.Sk_copy ->
+        if safe then fun () ->
+          st.cycles <- st.cycles + 5;
+          st.copy_len <- Int64.to_int (A.unsafe_get st.regs 1);
+          A.unsafe_set st.regs 0 (A.unsafe_get st.regs 1);
+          next ()
+        else fun () ->
+          st.cycles <- st.cycles + 5;
+          let c = Int64.to_int (A.unsafe_get st.regs 1) in
+          if c < 0 || c > Ebpf.copy_limit then raise Fault;
+          st.copy_len <- c;
+          A.unsafe_set st.regs 0 (A.unsafe_get st.regs 1);
+          next ()
       | Ebpf_vm.Exit ->
         fun () ->
           step ();
@@ -374,6 +415,8 @@ let compile (v : Ebpf_vm.verified) =
           if r0 = Ebpf_vm.pass_code then
             match st.sel with None -> raise Fault | Some _ -> 1
           else if r0 = Ebpf_vm.drop_code then 2
+          else if r0 = Ebpf_vm.redirect_code then
+            match st.redir with None -> raise Fault | Some _ -> 3
           else 0
     in
     compiled.(pc) <- cl
@@ -385,10 +428,14 @@ let exec t ~flow_hash ~dst_port =
   st.flow_hash <- flow_hash;
   st.dst_port <- dst_port;
   st.sel <- None;
+  st.redir <- None;
+  st.copy_len <- 0;
   st.cycles <- 0;
   match t.entry () with code -> code | exception Fault -> 0
 
 let selected t = t.st.sel
+let redirected t = t.st.redir
+let copy_len t = t.st.copy_len
 let last_cycles t = t.st.cycles
 
 let run t (ctx : Ebpf.ctx) =
@@ -399,6 +446,11 @@ let run t (ctx : Ebpf.ctx) =
       | Some s -> Ebpf.Selected s
       | None -> Ebpf.Fell_back
     else if code = 2 then Ebpf.Dropped
+    else if code = 3 then
+      match t.st.redir with
+      | Some { Ebpf_maps.Sockmap.conn; target } ->
+        Ebpf.Redirected { conn; target; copy = t.st.copy_len }
+      | None -> Ebpf.Fell_back
     else Ebpf.Fell_back
   in
   (outcome, t.st.cycles)

@@ -41,15 +41,26 @@ val insn_count : t -> int
 val exec : t -> flow_hash:int -> dst_port:int -> int
 (** Run the program on one packet without allocating: the result is
     the raw exit code ({!Ebpf_vm.pass_code} = 1 for a successful
-    selection, 0 for fallback — including any runtime fault — and 2
-    for drop).  After a return of 1, {!selected} holds the chosen
-    socket; {!last_cycles} always holds the cycle estimate of the run.
-    Takes the context as two immediate ints precisely so callers need
-    not build an {!Ebpf.ctx} record per packet. *)
+    selection, 0 for fallback — including any runtime fault — 2 for
+    drop, and 3 for an in-kernel splice redirect).  After a return of
+    1, {!selected} holds the chosen socket; after a 3, {!redirected}
+    holds the sockmap entry and {!copy_len} the accepted copy length;
+    {!last_cycles} always holds the cycle estimate of the run.  Takes
+    the context as two immediate ints precisely so callers need not
+    build an {!Ebpf.ctx} record per packet. *)
 
 val selected : t -> Socket.t option
 (** Socket chosen by the last [exec] ([None] unless it returned 1).
     Returns the sockarray's own option cell — no allocation. *)
+
+val redirected : t -> Ebpf_maps.Sockmap.entry option
+(** Sockmap entry the last [exec] redirected to ([None] unless it
+    returned 3).  Returns the sockmap's own option cell — no
+    allocation. *)
+
+val copy_len : t -> int
+(** Payload bytes the last redirect asked to copy up to userspace
+    (0 unless [exec] returned 3). *)
 
 val last_cycles : t -> int
 (** Cycle estimate of the last [exec]: instructions executed, helper

@@ -54,6 +54,42 @@ module Sockarray = struct
   let unsafe_get t key = Atomic.get t.slots.(key)
 end
 
+module Sockmap = struct
+  type entry = { conn : int; target : int }
+
+  type t = { map_name : string; slots : entry option Atomic.t array }
+
+  let create ~name ~size =
+    if size <= 0 then invalid_arg "Sockmap.create: size must be positive";
+    { map_name = name; slots = Array.init size (fun _ -> Atomic.make None) }
+
+  let name t = t.map_name
+  let size t = Array.length t.slots
+
+  let check t key =
+    if key < 0 || key >= Array.length t.slots then
+      invalid_arg (Printf.sprintf "Sockmap %s: key %d out of range" t.map_name key)
+
+  let set t key ~conn ~target =
+    check t key;
+    Atomic.set t.slots.(key) (Some { conn; target })
+
+  let clear t key =
+    check t key;
+    Atomic.set t.slots.(key) None
+
+  let get t key =
+    check t key;
+    Atomic.get t.slots.(key)
+
+  let unsafe_get t key = Atomic.get t.slots.(key)
+
+  let iteri t f =
+    Array.iteri
+      (fun key cell -> match Atomic.get cell with None -> () | Some e -> f key e)
+      t.slots
+end
+
 module Syscall = struct
   let counter = Atomic.make 0
 
@@ -66,6 +102,14 @@ module Syscall = struct
   let read_elem map key =
     Atomic.incr counter;
     Array_map.lookup map key
+
+  let sock_update map key ~conn ~target =
+    Atomic.incr counter;
+    Sockmap.set map key ~conn ~target
+
+  let sock_delete map key =
+    Atomic.incr counter;
+    Sockmap.clear map key
 
   let count () = Atomic.get counter
   let reset () = Atomic.set counter 0

@@ -50,6 +50,31 @@ module Sockarray : sig
       {!Verifier} certificate proved in bounds. *)
 end
 
+module Sockmap : sig
+  type entry = { conn : int; target : int }
+  (** A spliced connection: its id and the worker the kernel forwards
+      its bytes to. *)
+
+  type t
+  (** [BPF_MAP_TYPE_SOCKMAP] in miniature: flow-hash-keyed entries the
+      redirect helper consults for established-connection splicing. *)
+
+  val create : name:string -> size:int -> t
+  val name : t -> string
+  val size : t -> int
+  val set : t -> int -> conn:int -> target:int -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> entry option
+
+  val unsafe_get : t -> int -> entry option
+  (** [get] without the explicit range check, for accesses a
+      {!Verifier} certificate proved in bounds. *)
+
+  val iteri : t -> (int -> entry -> unit) -> unit
+  (** Visit every occupied slot — teardown sweeps on worker
+      restart/isolation. *)
+end
+
 module Syscall : sig
   val update_elem : Array_map.t -> int -> int64 -> unit
   (** Userspace [bpf(BPF_MAP_UPDATE_ELEM)]: performs the store and
@@ -57,6 +82,13 @@ module Syscall : sig
 
   val read_elem : Array_map.t -> int -> int64
   (** Userspace [bpf(BPF_MAP_LOOKUP_ELEM)]. *)
+
+  val sock_update : Sockmap.t -> int -> conn:int -> target:int -> unit
+  (** Userspace sockmap attach ([BPF_MAP_UPDATE_ELEM] on a sockmap):
+      performs the store and counts one syscall. *)
+
+  val sock_delete : Sockmap.t -> int -> unit
+  (** Userspace sockmap teardown ([BPF_MAP_DELETE_ELEM]). *)
 
   val count : unit -> int
   (** Total map syscalls issued since start (or last reset). *)

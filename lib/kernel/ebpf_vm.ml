@@ -33,6 +33,8 @@ type helper =
   | Map_lookup of Ebpf_maps.Array_map.t
   | Sk_select of Ebpf_maps.Sockarray.t
   | Reciprocal_scale
+  | Sk_redirect of Ebpf_maps.Sockmap.t
+  | Sk_copy
 
 type insn =
   | Mov_imm of reg * int64
@@ -52,6 +54,7 @@ type insn =
 let pass_code = 1L
 let fallback_code = 0L
 let drop_code = 2L
+let redirect_code = 3L
 
 type program = insn array
 
@@ -80,6 +83,8 @@ let helper_name = function
   | Map_lookup m -> Printf.sprintf "map_lookup(%s)" (Ebpf_maps.Array_map.name m)
   | Sk_select m -> Printf.sprintf "sk_select_reuseport(%s)" (Ebpf_maps.Sockarray.name m)
   | Reciprocal_scale -> "reciprocal_scale"
+  | Sk_redirect m -> Printf.sprintf "sk_redirect_map(%s)" (Ebpf_maps.Sockmap.name m)
+  | Sk_copy -> "sk_copy"
 
 let pp_insn fmt = function
   | Mov_imm (d, v) -> Format.fprintf fmt "%s = %Ld" (reg_name d) v
@@ -355,6 +360,37 @@ let rec compile_ret ~fresh_label ~env ~slots ~free (ret : Ebpf.ret) =
     compile_expr ~fresh_label ~env ~slots ~free bound
     @ [ I (St_stack (slot, reg_of_int free)) ]
     @ compile_ret ~fresh_label ~env:((name, slot) :: env) ~slots ~free body
+  | Ebpf.Redirect (map, key, copy, miss) ->
+    (* Same guard discipline as [Select]: the sockmap key and the copy
+       length are compared against their bounds before the helper
+       calls, so the {!Verifier} can discharge the [Sockmap_key] and
+       [Copy_len] obligations by branch refinement (or statically,
+       when the expressions are masked).  An r0 of 0 from
+       [sk_redirect_map] means the slot is unoccupied — the connection
+       is not spliced — and control falls through to [miss]. *)
+    let oob = fresh_label () in
+    let miss_label = fresh_label () in
+    let size = Int64.of_int (Ebpf_maps.Sockmap.size map) in
+    compile_expr ~fresh_label ~env ~slots ~free key
+    @ [
+        J (Jlt, reg_of_int free, Imm 0L, oob);
+        J (Jge, reg_of_int free, Imm size, oob);
+        I (Mov_reg (R1, reg_of_int free));
+        I (Call (Sk_redirect map));
+        J (Jeq, R0, Imm 0L, miss_label);
+      ]
+    @ compile_expr ~fresh_label ~env ~slots ~free copy
+    @ [
+        J (Jlt, reg_of_int free, Imm 0L, oob);
+        J (Jgt, reg_of_int free, Imm (Int64.of_int Ebpf.copy_limit), oob);
+        I (Mov_reg (R1, reg_of_int free));
+        I (Call Sk_copy);
+        I (Mov_imm (R0, redirect_code));
+        I Exit;
+        L miss_label;
+      ]
+    @ compile_ret ~fresh_label ~env ~slots ~free miss
+    @ [ L oob; I (Mov_imm (R0, fallback_code)); I Exit ]
 
 let compile (prog : Ebpf.prog) =
   let counter = ref 0 in
@@ -427,6 +463,8 @@ let exec_checked code (safe : bool array) (ctx : Ebpf.ctx) =
   let regs = Array.make 10 0L in
   let stack = Array.make max_stack_slots 0L in
   let selected = ref None in
+  let redirect = ref None in
+  let copy_len = ref 0 in
   let cycles = ref 0 in
   let get r = regs.(int_of_reg r) in
   let set r x = regs.(int_of_reg r) <- x in
@@ -505,14 +543,34 @@ let exec_checked code (safe : bool array) (ctx : Ebpf.ctx) =
       | Reciprocal_scale ->
         let h = Int64.to_int (get R1) and n = Int64.to_int (get R2) in
         if n <= 0 then raise Fault;
-        set R0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n)));
+        set R0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n))
+      | Sk_redirect map -> (
+        let k = Int64.to_int (get R1) in
+        if (not safe.(pc)) && (k < 0 || k >= Ebpf_maps.Sockmap.size map)
+        then raise Fault;
+        match Ebpf_maps.Sockmap.unsafe_get map k with
+        | None -> set R0 0L
+        | Some _ as e ->
+          redirect := e;
+          set R0 1L)
+      | Sk_copy ->
+        let c = Int64.to_int (get R1) in
+        if (not safe.(pc)) && (c < 0 || c > Ebpf.copy_limit) then raise Fault;
+        copy_len := c;
+        set R0 (get R1));
       step (pc + 1)
     | Exit ->
-      if Int64.equal (get R0) pass_code then
+      let r0 = get R0 in
+      if Int64.equal r0 pass_code then
         match !selected with
         | Some sock -> Ebpf.Selected sock
         | None -> raise Fault
-      else if Int64.equal (get R0) drop_code then Ebpf.Dropped
+      else if Int64.equal r0 drop_code then Ebpf.Dropped
+      else if Int64.equal r0 redirect_code then
+        match !redirect with
+        | Some { Ebpf_maps.Sockmap.conn; target } ->
+          Ebpf.Redirected { conn; target; copy = !copy_len }
+        | None -> raise Fault
       else Ebpf.Fell_back
   in
   let outcome =
@@ -532,6 +590,8 @@ let exec_fast code (ctx : Ebpf.ctx) =
   let regs = Array.make 10 0L in
   let stack = Array.make max_stack_slots 0L in
   let selected = ref None in
+  let redirect = ref None in
+  let copy_len = ref 0 in
   let cycles = ref 0 in
   let get r = Array.unsafe_get regs (int_of_reg r) in
   let set r x = Array.unsafe_set regs (int_of_reg r) x in
@@ -596,14 +656,29 @@ let exec_fast code (ctx : Ebpf.ctx) =
       | Reciprocal_scale ->
         let h = Int64.to_int (get R1) and n = Int64.to_int (get R2) in
         if n <= 0 then raise Fault;
-        set R0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n)));
+        set R0 (Int64.of_int (Bitops.reciprocal_scale ~hash:h ~n))
+      | Sk_redirect map -> (
+        match Ebpf_maps.Sockmap.unsafe_get map (Int64.to_int (get R1)) with
+        | None -> set R0 0L
+        | Some _ as e ->
+          redirect := e;
+          set R0 1L)
+      | Sk_copy ->
+        copy_len := Int64.to_int (get R1);
+        set R0 (get R1));
       step (pc + 1)
     | Exit ->
-      if Int64.equal (get R0) pass_code then
+      let r0 = get R0 in
+      if Int64.equal r0 pass_code then
         match !selected with
         | Some sock -> Ebpf.Selected sock
         | None -> raise Fault
-      else if Int64.equal (get R0) drop_code then Ebpf.Dropped
+      else if Int64.equal r0 drop_code then Ebpf.Dropped
+      else if Int64.equal r0 redirect_code then
+        match !redirect with
+        | Some { Ebpf_maps.Sockmap.conn; target } ->
+          Ebpf.Redirected { conn; target; copy = !copy_len }
+        | None -> raise Fault
       else Ebpf.Fell_back
   in
   let outcome =

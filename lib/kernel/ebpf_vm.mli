@@ -43,6 +43,14 @@ type helper =
       (** index in r1; selects the socket (side effect), r0 := 0;
           faults on an empty or out-of-range slot *)
   | Reciprocal_scale  (** hash in r1, n in r2; result to r0 *)
+  | Sk_redirect of Ebpf_maps.Sockmap.t
+      (** key in r1; loads the sockmap entry as the redirect target
+          (side effect), r0 := 1 if the slot is occupied, 0 otherwise;
+          faults on an out-of-range key *)
+  | Sk_copy
+      (** requested copy length in r1 (bytes of payload pulled up to
+          userspace alongside the redirect); r0 := r1; faults outside
+          0..{!Ebpf.copy_limit} *)
 
 type insn =
   | Mov_imm of reg * int64
@@ -62,11 +70,12 @@ type insn =
   | Ld_stack of reg * int
   | Call of helper
   | Exit  (** return r0: 1 = SK_PASS (use selection), 0 = fall back,
-              2 = drop *)
+              2 = drop, 3 = in-kernel redirect (splice) *)
 
 val pass_code : int64
 val fallback_code : int64
 val drop_code : int64
+val redirect_code : int64
 
 type program = insn array
 

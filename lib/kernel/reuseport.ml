@@ -232,7 +232,10 @@ let select t ~flow_hash =
                slot = slot_of_socket t sock;
              });
       Some sock
-    | Ebpf.Fell_back ->
+    | Ebpf.Fell_back
+    | Ebpf.Redirected _ ->
+      (* a redirect verdict is meaningless at SYN selection time; the
+         kernel treats an unexpected return code as a fallback *)
       t.cyc_fallback <- t.cyc_fallback + cycles;
       fallback_select t ~flow_hash
     | Ebpf.Dropped ->

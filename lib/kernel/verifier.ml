@@ -9,7 +9,14 @@ open Ebpf_vm
 (* ------------------------------------------------------------------ *)
 (* Typed verdicts                                                       *)
 
-type check_kind = Shift_amount | Mod_divisor | Map_index | Sk_index | Stack_slot
+type check_kind =
+  | Shift_amount
+  | Mod_divisor
+  | Map_index
+  | Sk_index
+  | Stack_slot
+  | Sockmap_key
+  | Copy_len
 
 type check_status = Proved | Runtime_check
 
@@ -653,7 +660,13 @@ let verify ?(name = "bytecode") ?(budget = default_budget)
             (* both directions infeasible: the path itself is dead *)
             running := false
         in
-        match code.(i) with
+        (* A [Dead] escaping an ALU bounds normalization (rather than a
+           branch refinement, which [branch] already handles) means the
+           segment's abstract state is self-contradictory: the path is
+           unreachable, so stop walking it instead of leaking the
+           internal exception to the caller. *)
+        try
+          match code.(i) with
         | Mov_imm (d, v) ->
           setr d (const_v v);
           step ()
@@ -722,6 +735,25 @@ let verify ?(name = "bytecode") ?(budget = default_budget)
             let n = getr i R2 in
             let res = rs_result n in
             clobber_caller_saved ();
+            setr R0 res
+          | Sk_redirect map ->
+            let k = getr i R1 in
+            let size = Ebpf_maps.Sockmap.size map in
+            note_site i Sockmap_key
+              (Int64.compare k.smin 0L >= 0
+              && Int64.compare k.smax (Int64.of_int (size - 1)) <= 0);
+            clobber_caller_saved ();
+            (* r0 is the occupancy flag: 0 (unoccupied) or 1 (hit) *)
+            setr R0
+              (norm { tn = Tnum.unknown; smin = 0L; smax = 1L; umin = 0L; umax = 1L })
+          | Sk_copy ->
+            let c = getr i R1 in
+            let res = c in
+            note_site i Copy_len
+              (Int64.compare c.smin 0L >= 0
+              && Int64.compare c.smax (Int64.of_int Ebpf.copy_limit) <= 0);
+            clobber_caller_saved ();
+            (* r0 := r1 (the accepted copy length) *)
             setr R0 res);
           step ()
         | Exit ->
@@ -742,6 +774,7 @@ let verify ?(name = "bytecode") ?(budget = default_budget)
           else
             let a = getr i ra and b = getr i rb in
             branch (i + 1 + off) op ra a b (Some rb)
+        with Dead -> running := false
       done
     in
     Stack.push (Explore (0, init_st ())) work;

@@ -31,6 +31,8 @@ type check_kind =
   | Map_index  (** [Map_lookup] key within the array map *)
   | Sk_index  (** [Sk_select] index within the sockarray *)
   | Stack_slot  (** [St_stack]/[Ld_stack] slot within the stack *)
+  | Sockmap_key  (** [Sk_redirect] key within the sockmap *)
+  | Copy_len  (** [Sk_copy] length in 0..{!Ebpf.copy_limit} *)
 
 type check_status = Proved | Runtime_check
 

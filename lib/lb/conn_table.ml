@@ -335,4 +335,10 @@ module Dense = struct
     end
 
   let length t = t.count
+
+  let iter t f =
+    for key = 0 to Bigarray.Array1.dim t.a - 1 do
+      let a = Bigarray.Array1.unsafe_get t.a key in
+      if a <> -1 then f ~key ~a ~b:(Bigarray.Array1.unsafe_get t.b key)
+    done
 end

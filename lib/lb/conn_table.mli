@@ -122,4 +122,8 @@ module Dense : sig
   val get_b : t -> int -> int
   val remove : t -> int -> unit
   val length : t -> int
+
+  val iter : t -> (key:int -> a:int -> b:int -> unit) -> unit
+  (** Visit every set key in increasing key order.  The callback must
+      not add entries (removal of already-visited keys is fine). *)
 end

@@ -8,14 +8,26 @@ type mode =
   | Io_uring_fifo
   | Reuseport
   | Hermes of Hermes.Config.t
+  | Splice
 
 let mode_name = function
-  | Exclusive -> "exclusive"
-  | Epoll_rr -> "epoll-rr"
-  | Wake_all -> "wake-all"
-  | Io_uring_fifo -> "io_uring-fifo"
-  | Reuseport -> "reuseport"
-  | Hermes _ -> "hermes"
+  | Exclusive -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Exclusive
+  | Epoll_rr -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Epoll_rr
+  | Wake_all -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Wake_all
+  | Io_uring_fifo -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Io_uring_fifo
+  | Reuseport -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Reuseport
+  | Hermes _ -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Hermes
+  | Splice -> Hermes.Config.Mode.to_string Hermes.Config.Mode.Splice
+
+let of_mode ?(hermes = Hermes.Config.default) m =
+  match m with
+  | Hermes.Config.Mode.Hermes -> Hermes hermes
+  | Hermes.Config.Mode.Exclusive -> Exclusive
+  | Hermes.Config.Mode.Reuseport -> Reuseport
+  | Hermes.Config.Mode.Epoll_rr -> Epoll_rr
+  | Hermes.Config.Mode.Wake_all -> Wake_all
+  | Hermes.Config.Mode.Io_uring_fifo -> Io_uring_fifo
+  | Hermes.Config.Mode.Splice -> Splice
 
 type conn_events = {
   established : Conn.t -> unit;
@@ -63,6 +75,7 @@ type t = {
      payload pointer on the OCaml heap and nothing else. *)
   metas : conn_events Conn_table.t;
   hermes_rt : Hermes.Runtime.t option;
+  splice_rt : Splice.t option;
   backlog : int;
   mutable next_seq : int;
   mutable next_fd : int;
@@ -121,6 +134,36 @@ let meta_slot t conn = Conn_table.find_slot t.metas conn.Conn.id
 let tenant_index t tenant_id =
   Hashtbl.find_opt t.tenant_index_of_id tenant_id
 
+(* Splice handoff: once the worker has accepted, install the
+   connection into the sockmap so subsequent payload bypasses it.
+   Only [metas] connections attach — synthetic fault carriers carry
+   billion-band ids and must never touch the splice plane. *)
+let splice_attach t conn =
+  match t.splice_rt with
+  | None -> ()
+  | Some sp -> (
+    let flow_hash = Netsim.Flow_hash.of_four_tuple conn.Conn.tuple in
+    match
+      Splice.attach sp ~conn:conn.Conn.id ~flow_hash
+        ~worker:conn.Conn.worker_id
+    with
+    | None -> ()
+    | Some key ->
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Splice_attach
+             { conn = conn.Conn.id; worker = conn.Conn.worker_id; key }))
+
+let splice_teardown t ~conn ~reason =
+  match t.splice_rt with
+  | None -> ()
+  | Some sp -> (
+    match Splice.teardown sp ~conn with
+    | None -> ()
+    | Some (key, worker) ->
+      if Trace.enabled () then
+        Trace.emit (Trace.Splice_teardown { conn; worker; key; reason }))
+
 let handle_established t conn =
   (match tenant_index t conn.Conn.tenant_id with
   | Some i -> t.tenant_conns.(i) <- t.tenant_conns.(i) + 1
@@ -129,6 +172,7 @@ let handle_established t conn =
   if slot >= 0 then begin
     Stats.Histogram.record t.estab_lat
       (float_of_int (Sim_time.sub (Sim.now t.sim) (Conn_table.aux t.metas slot)));
+    splice_attach t conn;
     (Conn_table.payload t.metas slot).established conn
   end
 
@@ -150,6 +194,7 @@ let handle_request_done t conn req =
 (* Removing an entry resets its payload to the dummy, so the callbacks
    must be read out before the remove. *)
 let handle_closed t conn =
+  splice_teardown t ~conn:conn.Conn.id ~reason:"close";
   let slot = meta_slot t conn in
   if slot >= 0 then begin
     let events = Conn_table.payload t.metas slot in
@@ -158,6 +203,7 @@ let handle_closed t conn =
   end
 
 let handle_reset t conn =
+  splice_teardown t ~conn:conn.Conn.id ~reason:"reset";
   if conn.Conn.tenant_id >= 0 then t.reset_count <- t.reset_count + 1;
   let slot = meta_slot t conn in
   if slot >= 0 then begin
@@ -171,11 +217,11 @@ let wq_mode = function
   | Epoll_rr -> Kernel.Waitqueue.Roundrobin_exclusive
   | Wake_all -> Kernel.Waitqueue.Wake_all
   | Io_uring_fifo -> Kernel.Waitqueue.Fifo_exclusive
-  | Reuseport | Hermes _ -> invalid_arg "wq_mode: not a shared mode"
+  | Reuseport | Hermes _ | Splice -> invalid_arg "wq_mode: not a shared mode"
 
 let is_shared = function
   | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo -> true
-  | Reuseport | Hermes _ -> false
+  | Reuseport | Hermes _ | Splice -> false
 
 let bind_dedicated t ~port ~group ~sockarray ~worker_id =
   let sock =
@@ -188,7 +234,8 @@ let bind_dedicated t ~port ~group ~sockarray ~worker_id =
 
 let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
     ?(hermes_group_size = 64) ?(hermes_select_mode = Hermes.Groups.By_flow_hash)
-    ?(stagger_registration = false) () =
+    ?(stagger_registration = false) ?(splice_slots = 4096) ?(splice_copy = 0) ()
+    =
   if workers <= 0 then invalid_arg "Device.create: workers must be positive";
   if Array.length tenants = 0 then invalid_arg "Device.create: no tenants";
   let hermes_rt =
@@ -197,7 +244,14 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
       Some
         (Hermes.Runtime.create ~group_size:hermes_group_size
            ~select_mode:hermes_select_mode ~config ~workers ())
-    | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo | Reuseport -> None
+    | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo | Reuseport | Splice ->
+      None
+  in
+  let splice_rt =
+    match mode with
+    | Splice -> Some (Splice.create ~workers ~slots:splice_slots ~copy:splice_copy ())
+    | Exclusive | Epoll_rr | Wake_all | Io_uring_fifo | Reuseport | Hermes _ ->
+      None
   in
   let worker_config =
     match (worker_config, mode) with
@@ -222,6 +276,7 @@ let create ~sim ~rng ~mode ~workers ~tenants ?worker_config ?(backlog = 4096)
       isolated = Array.make workers false;
       metas = Conn_table.create ~dummy:null_conn_events ~capacity:4096 ();
       hermes_rt;
+      splice_rt;
       backlog;
       next_seq = 0;
       next_fd = 0;
@@ -362,7 +417,62 @@ let connect t ~tenant ~events =
         Kernel.Epoll.notify_accept_ready (Worker.epoll t.workers_arr.(w)) ~fd))
   end
 
-let send t conn req = Worker.deliver t.workers_arr.(conn.Conn.worker_id) conn req
+(* Splice forwards payload; session-level work (handshakes,
+   compression, routing) still needs the userspace proxy even on an
+   attached connection — only the pure-forwarding ops bypass. *)
+let spliceable_req req =
+  match req.Request.kind with
+  | Request.Work (Request.Plain_proxy | Request.Websocket_frame) -> true
+  | Request.Work
+      ( Request.Ssl_handshake | Request.Ssl_record | Request.Compress
+      | Request.Regex_route | Request.Protocol_translate )
+  | Request.Close ->
+    false
+
+(* A redirected chunk completes without the worker: the device itself
+   closes the latency/attribution loop after the in-kernel forwarding
+   delay, charging the tenant the kernel time actually spent instead
+   of the proxy cost it avoided. *)
+let splice_request_done t conn req ~kernel_time =
+  if conn.Conn.tenant_id >= 0 then begin
+    Stats.Histogram.record t.lat
+      (float_of_int
+         (Sim_time.sub (Sim.now t.sim) req.Request.arrival + Cost.client_rtt));
+    t.completed_count <- t.completed_count + 1;
+    (match tenant_index t conn.Conn.tenant_id with
+    | Some i -> t.tenant_cpu.(i) <- Sim_time.add t.tenant_cpu.(i) kernel_time
+    | None -> ());
+    conn.Conn.requests_done <- conn.Conn.requests_done + 1;
+    let slot = meta_slot t conn in
+    if slot >= 0 then (Conn_table.payload t.metas slot).request_done conn req
+  end
+
+let send t conn req =
+  match t.splice_rt with
+  | Some sp
+    when spliceable_req req && Conn.is_open conn
+         && Splice.is_attached sp ~conn:conn.Conn.id -> (
+    let flow_hash = Netsim.Flow_hash.of_four_tuple conn.Conn.tuple in
+    match
+      Splice.decide sp ~conn:conn.Conn.id ~flow_hash
+        ~dst_port:conn.Conn.tuple.Netsim.Addr.dst_port ~bytes:req.Request.size
+    with
+    | Splice.Fallback ->
+      Worker.deliver t.workers_arr.(conn.Conn.worker_id) conn req
+    | Splice.Redirect { conn = hit; worker; copied; cycles } ->
+      req.Request.arrival <- Sim.now t.sim;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Splice_redirect
+             { conn = hit; worker; bytes = req.Request.size; copied });
+      Worker.note_spliced_redirect t.workers_arr.(worker);
+      let kernel_time = Cost.cycles_to_time cycles in
+      ignore
+        (Sim.schedule_after t.sim ~delay:kernel_time (fun () ->
+             if Conn.is_open conn then
+               splice_request_done t conn req ~kernel_time));
+      true)
+  | Some _ | None -> Worker.deliver t.workers_arr.(conn.Conn.worker_id) conn req
 
 let close_conn t conn =
   let marker = Request.close_marker ~id:(fresh_id t) ~tenant_id:conn.Conn.tenant_id in
@@ -442,6 +552,23 @@ let set_map_sync_delay t delay =
          (fun d k -> ignore (Sim.schedule_after t.sim ~delay:d k))
          delay)
 
+let splice t = t.splice_rt
+
+let set_splice_desync t ~worker v =
+  match t.splice_rt with
+  | None -> ()
+  | Some sp -> Splice.set_desynced sp ~worker v
+
+let set_splice_strict t v =
+  match t.splice_rt with None -> () | Some sp -> Splice.set_strict sp v
+
+let splice_kernel_cycles t =
+  match t.splice_rt with
+  | None -> 0
+  | Some sp ->
+    let s = Splice.stats sp in
+    s.Splice.prog_cycles + s.Splice.splice_cycles
+
 (* Accept-queue overflow: clamp the victim's listening sockets to a
    one-deep backlog so handshakes start dropping.  Dedicated modes
    clamp worker [w]'s socket on every port; shared modes have no
@@ -461,9 +588,24 @@ let clamp_backlog t ~worker limit =
 let overflow_accept_queue t ~worker = clamp_backlog t ~worker 1
 let restore_accept_queue t ~worker = clamp_backlog t ~worker t.backlog
 
+(* Sweep the splice plane for a worker leaving service: every sockmap
+   entry targeting it must go before its traffic can be redirected
+   into a dead socket.  (Under an injected desync the deletes are
+   lost — that is the fault.) *)
+let splice_sweep t ~worker ~reason =
+  match t.splice_rt with
+  | None -> ()
+  | Some sp ->
+    List.iter
+      (fun (conn, key) ->
+        if Trace.enabled () then
+          Trace.emit (Trace.Splice_teardown { conn; worker; key; reason }))
+      (Splice.teardown_worker sp ~worker)
+
 let isolate_worker t w =
   if not t.isolated.(w) then begin
     t.isolated.(w) <- true;
+    splice_sweep t ~worker:w ~reason:"isolate";
     (match t.hermes_rt with
     | Some rt -> Hermes.Runtime.mark_dead rt ~worker:w
     | None -> ());
@@ -495,6 +637,10 @@ let isolate_worker t w =
   end
 
 let recover_worker t w =
+  (* Before the restart resets its connections: a restarted process
+     has fresh sockets, so any surviving sockmap entry is stale by
+     definition. *)
+  splice_sweep t ~worker:w ~reason:"restart";
   Worker.restart t.workers_arr.(w);
   if t.isolated.(w) then begin
     t.isolated.(w) <- false;

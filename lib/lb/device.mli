@@ -11,6 +11,9 @@
     - {b Hermes}: reuseport sockets plus the Hermes runtime — WST,
       per-worker schedulers, and the Algo 2 eBPF program attached to
       every port's group.
+    - {b Splice}: reuseport accepts, then an in-kernel sockmap fast
+      path for established-connection payload ({!Splice}) — workers
+      only see session events, the kernel forwards the bytes.
 
     Clients drive it with [connect] / [send] / [close_conn]; workload
     generators live in the [workload] library. *)
@@ -25,8 +28,18 @@ type mode =
           exclusive, on the oldest waiter instead of the newest *)
   | Reuseport
   | Hermes of Hermes.Config.t
+  | Splice
+      (** kernel-side L7 splicing: established connections are handed
+          off to a verified sockmap-redirect program; forwarding ops
+          bypass the worker entirely, session ops and closes still go
+          through it *)
 
 val mode_name : mode -> string
+
+val of_mode : ?hermes:Hermes.Config.t -> Hermes.Config.Mode.t -> mode
+(** Map the config-level mode name ({!Hermes.Config.Mode}) to a device
+    mode; [hermes] (default {!Hermes.Config.default}) supplies the
+    runtime configuration when the mode is [Hermes]. *)
 
 type conn_events = {
   established : Conn.t -> unit;
@@ -51,11 +64,15 @@ val create :
   ?hermes_group_size:int ->
   ?hermes_select_mode:Hermes.Groups.select_mode ->
   ?stagger_registration:bool ->
+  ?splice_slots:int ->
+  ?splice_copy:int ->
   unit ->
   t
 (** [stagger_registration] rotates the wait-queue registration order
     per port in the shared modes — the failed mitigation §7 discusses
-    (different "last added" worker per port). *)
+    (different "last added" worker per port).  [splice_slots] (default
+    4096) and [splice_copy] (default 0) configure the sockmap size and
+    selective-copy budget in [Splice] mode (see {!Splice.create}). *)
 
 val start : t -> unit
 val sim : t -> Engine.Sim.t
@@ -126,6 +143,22 @@ val set_map_sync_delay : t -> Engine.Sim_time.t option -> unit
     {!Hermes.Runtime.set_sync_defer} on this device's simulator); the
     kernel dispatches on the stale bitmap in the interim.  [None]
     restores synchronous pushes.  No-op in non-Hermes modes. *)
+
+val splice : t -> Splice.t option
+(** The splice control plane ([Splice] mode only). *)
+
+val set_splice_desync : t -> worker:int -> bool -> unit
+(** Inject the [splice_desync] fault: while set, sockmap deletes
+    targeting the worker are lost ({!Splice.set_desynced}).  No-op in
+    non-splice modes. *)
+
+val set_splice_strict : t -> bool -> unit
+(** Toggle the splice plane's userspace-directed verification
+    ({!Splice.set_strict}).  No-op in non-splice modes. *)
+
+val splice_kernel_cycles : t -> int
+(** Cumulative in-kernel splice cycles — redirect-program runs plus
+    forwarding/selective-copy work (0 outside [Splice] mode). *)
 
 val overflow_accept_queue : t -> worker:int -> unit
 (** Clamp the victim's listening-socket backlogs to one pending

@@ -78,7 +78,7 @@ and restart t w =
 
 let start ~device ?(grace = Sim_time.sec 2) ?(poll = Sim_time.ms 50) ~on_done () =
   (match Device.device_mode device with
-  | Device.Reuseport | Device.Hermes _ -> ()
+  | Device.Reuseport | Device.Hermes _ | Device.Splice -> ()
   | Device.Exclusive | Device.Epoll_rr | Device.Wake_all | Device.Io_uring_fifo ->
     invalid_arg "Release.start: rolling release needs dedicated sockets");
   let t =

@@ -42,6 +42,7 @@ type stats = {
   mutable resets : int;
   mutable pool_rejects : int;
   mutable spurious_wakeups : int;
+  mutable spliced_redirects : int;
 }
 
 type state =
@@ -113,6 +114,7 @@ let create ~sim ~id ~config ~alloc_fd ~callbacks ?hermes () =
           resets = 0;
           pool_rejects = 0;
           spurious_wakeups = 0;
+          spliced_redirects = 0;
         };
       state = Init;
       fault_conn = None;
@@ -443,6 +445,12 @@ let adopt_conn t ~tenant_id =
   conn_add t 1;
   t.worker_stats.accepted <- t.worker_stats.accepted + 1;
   conn
+
+(* The splice fast path carries this worker's bytes without entering
+   its event loop; the device notes each bypassed chunk here so
+   per-worker reports can show how much traffic the kernel absorbed. *)
+let note_spliced_redirect t =
+  t.worker_stats.spliced_redirects <- t.worker_stats.spliced_redirects + 1
 
 let deliver t conn req =
   if Conn.deliver conn req ~now:(Sim.now t.sim) then begin

@@ -129,6 +129,14 @@ type stats = {
   mutable resets : int;
   mutable pool_rejects : int;
   mutable spurious_wakeups : int;  (** woke with nothing to accept *)
+  mutable spliced_redirects : int;
+      (** chunks of this worker's connections the kernel splice path
+          forwarded without waking it (splice mode) *)
 }
 
 val stats : t -> stats
+
+val note_spliced_redirect : t -> unit
+(** Count one in-kernel redirect of this worker's traffic (called by
+    the device's splice path; the worker itself never sees the
+    chunk). *)

@@ -28,6 +28,9 @@ type event =
     }
   | Fault_inject of { fault : string; worker : int; arg : int }
   | Fault_clear of { fault : string; worker : int }
+  | Splice_attach of { conn : int; worker : int; key : int }
+  | Splice_redirect of { conn : int; worker : int; bytes : int; copied : int }
+  | Splice_teardown of { conn : int; worker : int; key : int; reason : string }
 
 type record = { seq : int; time : int; event : event }
 
@@ -216,6 +219,14 @@ let render_event = function
     Printf.sprintf "fault.inject kind=%s worker=%d arg=%d" fault worker arg
   | Fault_clear { fault; worker } ->
     Printf.sprintf "fault.clear kind=%s worker=%d" fault worker
+  | Splice_attach { conn; worker; key } ->
+    Printf.sprintf "splice.attach conn=%d worker=%d key=%d" conn worker key
+  | Splice_redirect { conn; worker; bytes; copied } ->
+    Printf.sprintf "splice.redirect conn=%d worker=%d bytes=%d copied=%d" conn
+      worker bytes copied
+  | Splice_teardown { conn; worker; key; reason } ->
+    Printf.sprintf "splice.teardown conn=%d worker=%d key=%d reason=%s" conn
+      worker key reason
 
 let render r = Printf.sprintf "%10d %s" r.time (render_event r.event)
 
@@ -294,6 +305,14 @@ let json_fields = function
       worker arg
   | Fault_clear { fault; worker } ->
     Printf.sprintf "\"kind\":%s,\"worker\":%d" (json_string fault) worker
+  | Splice_attach { conn; worker; key } ->
+    Printf.sprintf "\"conn\":%d,\"worker\":%d,\"key\":%d" conn worker key
+  | Splice_redirect { conn; worker; bytes; copied } ->
+    Printf.sprintf "\"conn\":%d,\"worker\":%d,\"bytes\":%d,\"copied\":%d" conn
+      worker bytes copied
+  | Splice_teardown { conn; worker; key; reason } ->
+    Printf.sprintf "\"conn\":%d,\"worker\":%d,\"key\":%d,\"reason\":%s" conn
+      worker key (json_string reason)
 
 let event_name = function
   | Wq_wake _ -> "wq.wake"
@@ -311,6 +330,9 @@ let event_name = function
   | Verifier_verdict _ -> "verifier.verdict"
   | Fault_inject _ -> "fault.inject"
   | Fault_clear _ -> "fault.clear"
+  | Splice_attach _ -> "splice.attach"
+  | Splice_redirect _ -> "splice.redirect"
+  | Splice_teardown _ -> "splice.teardown"
 
 let json_of_record r =
   Printf.sprintf "{\"seq\":%d,\"t\":%d,\"ev\":%s,%s}" r.seq r.time
@@ -551,6 +573,27 @@ module Binary = struct
       put w 0 fault_id;
       put w 1 worker;
       flush_record w ~nwords:2
+    | Splice_attach { conn; worker; key } ->
+      header w ~tag:16 ~nwords:3 ~w1:seq ~w2:time;
+      put w 0 conn;
+      put w 1 worker;
+      put w 2 key;
+      flush_record w ~nwords:3
+    | Splice_redirect { conn; worker; bytes; copied } ->
+      header w ~tag:17 ~nwords:4 ~w1:seq ~w2:time;
+      put w 0 conn;
+      put w 1 worker;
+      put w 2 bytes;
+      put w 3 copied;
+      flush_record w ~nwords:4
+    | Splice_teardown { conn; worker; key; reason } ->
+      let reason_id = intern w reason in
+      header w ~tag:18 ~nwords:4 ~w1:seq ~w2:time;
+      put w 0 conn;
+      put w 1 worker;
+      put w 2 key;
+      put w 3 reason_id;
+      flush_record w ~nwords:4
 
   let sink oc =
     output_string oc magic;
@@ -690,6 +733,17 @@ module Binary = struct
             | 15 ->
               exact 2;
               Fault_clear { fault = str 0; worker = wi 1 }
+            | 16 ->
+              exact 3;
+              Splice_attach { conn = wi 0; worker = wi 1; key = wi 2 }
+            | 17 ->
+              exact 4;
+              Splice_redirect
+                { conn = wi 0; worker = wi 1; bytes = wi 2; copied = wi 3 }
+            | 18 ->
+              exact 4;
+              Splice_teardown
+                { conn = wi 0; worker = wi 1; key = wi 2; reason = str 3 }
             | t -> corrupt "unknown record tag %d" t
           in
           f { seq = w1; time = w2; event }

@@ -83,6 +83,19 @@ type event =
   | Fault_clear of { fault : string; worker : int }
       (** The matching end of a bounded-duration injection (or an
           explicit recovery action). *)
+  | Splice_attach of { conn : int; worker : int; key : int }
+      (** Userspace installed a sockmap entry for an established
+          connection: bytes for [conn] now splice in-kernel to
+          [worker]; [key] is the flow-hash-derived sockmap slot. *)
+  | Splice_redirect of { conn : int; worker : int; bytes : int; copied : int }
+      (** One payload chunk forwarded by the kernel splice path
+          ([bytes] total, of which [copied] were selectively copied up
+          to userspace) — the userspace proxy never saw it. *)
+  | Splice_teardown of { conn : int; worker : int; key : int; reason : string }
+      (** Userspace removed a sockmap entry; [reason] is ["close"],
+          ["reset"], ["restart"] or ["isolate"].  After this event no
+          [Splice_redirect] may name [conn] — the monitors enforce
+          it. *)
 
 type record = { seq : int; time : int; event : event }
 (** [time] is virtual nanoseconds ({!set_now}); [seq] a process-wide

@@ -17,6 +17,18 @@ let description = function
 let cps_class = function Case1 | Case2 -> `High | Case3 | Case4 -> `Low
 let processing_class = function Case1 | Case3 -> `Low | Case2 | Case4 -> `High
 
+type splice_axis = Short_rpc | Long_streaming
+
+let splice_axes = [ Short_rpc; Long_streaming ]
+
+let splice_axis_name = function
+  | Short_rpc -> "short-rpc"
+  | Long_streaming -> "long-streaming"
+
+let splice_axis_description = function
+  | Short_rpc -> "Many small request/response exchanges; cost is dispatch, not bytes"
+  | Long_streaming -> "Long-lived connections pumping 64 KiB chunks; cost is pure forwarding"
+
 type load = Light | Medium | Heavy
 
 let loads = [ Light; Medium; Heavy ]
@@ -99,5 +111,48 @@ let profile case ~workers =
           (0.4, Lb.Request.Regex_route);
           (0.2, Lb.Request.Protocol_translate);
         ];
+      tenant_skew = 0.8;
+    }
+
+(* The splice axis varies the bytes-per-connection ratio that decides
+   whether kernel-side forwarding pays: short RPCs amortize the attach
+   over a handful of sub-KB exchanges, streams over hundreds of 64 KiB
+   chunks.  Processing times approximate the userspace proxy's
+   forwarding cost for the median chunk ([Lb.Request.default_cost] of
+   a plain proxy op), so the splice mode's kernel-cycle pricing and
+   the proxy baseline measure the same logical work. *)
+let splice_profile axis ~workers =
+  if workers <= 0 then
+    invalid_arg "Cases.splice_profile: workers must be positive";
+  let w = float_of_int workers in
+  let open Engine.Dist in
+  match axis with
+  | Short_rpc ->
+    (* Four ~600 B exchanges per connection, ~35 us of proxy work
+       each: bypassing the copies saves almost nothing, only the two
+       syscalls. *)
+    {
+      Profile.name = "short-rpc";
+      cps = 0.45 *. w /. (4.0 *. 0.000035);
+      requests_per_conn = constant 4.0;
+      request_gap = exponential ~mean:0.001;
+      request_size = lognormal_of_quantiles ~p50:600.0 ~p99:3000.0;
+      processing_time = lognormal_of_quantiles ~p50:0.000033 ~p99:0.00012;
+      op_mix = [ (1.0, Lb.Request.Plain_proxy) ];
+      tenant_skew = 0.8;
+    }
+  | Long_streaming ->
+    (* ~100 chunks of 64 KiB median per connection, 20 ms apart;
+       proxying one chunk costs ~160 us of copyin/copyout, which is
+       exactly what the sockmap redirect elides. *)
+    {
+      Profile.name = "long-streaming";
+      cps = 0.45 *. w /. (100.0 *. 0.00016);
+      requests_per_conn = uniform ~lo:50.0 ~hi:150.0;
+      request_gap = exponential ~mean:0.02;
+      request_size = lognormal_of_quantiles ~p50:65536.0 ~p99:262144.0;
+      processing_time = lognormal_of_quantiles ~p50:0.00016 ~p99:0.0006;
+      op_mix =
+        [ (0.8, Lb.Request.Plain_proxy); (0.2, Lb.Request.Websocket_frame) ];
       tenant_skew = 0.8;
     }

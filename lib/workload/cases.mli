@@ -24,6 +24,26 @@ val description : case -> string
 val cps_class : case -> [ `High | `Low ]
 val processing_class : case -> [ `High | `Low ]
 
+(** {1 Splice workload axis}
+
+    The splice fast path (PR 9) is priced by bytes, not requests, so
+    its evaluation axis is the bytes-per-connection ratio rather than
+    Table 3's CPS/processing quadrants. *)
+
+type splice_axis =
+  | Short_rpc  (** a handful of sub-KB exchanges per connection *)
+  | Long_streaming  (** hundreds of 64 KiB chunks per connection *)
+
+val splice_axes : splice_axis list
+val splice_axis_name : splice_axis -> string
+val splice_axis_description : splice_axis -> string
+
+val splice_profile : splice_axis -> workers:int -> Profile.t
+(** Light-load profile (~45% device utilization under the userspace
+    proxy) for a device with [workers] cores.  Processing times match
+    the proxy's forwarding cost for the median chunk, so proxy and
+    splice runs of the same profile price the same logical work. *)
+
 type load = Light | Medium | Heavy
 
 val loads : load list

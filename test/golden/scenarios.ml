@@ -19,7 +19,11 @@
                       on the same worker regardless of its load
    - [filter_cascade] Hermes' Algo 1 cascade: per-stage survivor masks,
                       the pushed bitmap, and Algo 2 picking among the
-                      survivors (the Fig. 9 running example) *)
+                      survivors (the Fig. 9 running example)
+   - [splice_handoff] the in-kernel splice fast path: sockmap attach on
+                      accept, redirect per payload chunk, teardown on
+                      close — plus the reason=isolate sweep when a
+                      worker is pulled *)
 
 let ms = Engine.Sim_time.ms
 let us = Engine.Sim_time.us
@@ -88,6 +92,57 @@ let filter_cascade () =
     ~costs:[ us 100; ms 6; us 100; us 100 ]
     ~limit:(ms 12)
 
+(* Splice mode: every connection sends two 8 KiB chunks so the trace
+   shows the full sockmap lifecycle — attach on accept, one redirect
+   per chunk, teardown reason=close.  The second chunk comes after a
+   5 ms idle gap, so conns hashed to worker 1 are still attached when
+   the isolate at ms 4 sweeps its entries with reason=isolate (their
+   late chunk then falls back to the userspace path). *)
+let splice_handoff () =
+  let device, sim = make_device Lb.Device.Splice ~workers:4 ~seed:7 in
+  Lb.Device.start device;
+  let send conn =
+    let req =
+      Lb.Request.make ~id:(Lb.Device.fresh_id device) ~op:Lb.Request.Plain_proxy
+        ~size:8192 ~cost:(us 30) ~tenant_id:conn.Lb.Conn.tenant_id
+    in
+    ignore (Lb.Device.send device conn req)
+  in
+  let two_chunk_events () =
+    let sent = ref 0 in
+    {
+      Lb.Device.established =
+        (fun conn ->
+          incr sent;
+          send conn);
+      request_done =
+        (fun conn _ ->
+          if !sent < 2 then begin
+            incr sent;
+            ignore
+              (Engine.Sim.schedule sim
+                 ~at:(Engine.Sim_time.add (Engine.Sim.now sim) (ms 5))
+                 (fun () ->
+                   if conn.Lb.Conn.state = Lb.Conn.Established then send conn))
+          end
+          else Lb.Device.close_conn device conn);
+      closed = (fun _ -> ());
+      reset = (fun _ -> ());
+      dispatch_failed = (fun () -> ());
+    }
+  in
+  for i = 0 to 5 do
+    ignore
+      (Engine.Sim.schedule sim
+         ~at:(Engine.Sim_time.add (ms 1) (ms 1 * i))
+         (fun () ->
+           Lb.Device.connect device ~tenant:0 ~events:(two_chunk_events ())))
+  done;
+  ignore
+    (Engine.Sim.schedule sim ~at:(ms 4) (fun () ->
+         Lb.Device.isolate_worker device 1));
+  Engine.Sim.run_until sim ~limit:(ms 20)
+
 let all =
   [
     {
@@ -110,6 +165,13 @@ let all =
       header =
         "# scenario filter_cascade: Hermes (Algo 1 + Algo 2), 4 workers, mixed costs";
       run = filter_cascade;
+    };
+    {
+      name = "splice_handoff";
+      header =
+        "# scenario splice_handoff: splice mode, 4 workers, 6 two-chunk conns, \
+         isolate at 4ms";
+      run = splice_handoff;
     };
   ]
 

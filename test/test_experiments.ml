@@ -5,13 +5,13 @@ let check = Alcotest.check
 
 let test_registry_complete () =
   let ids = Experiments.Registry.ids () in
-  check Alcotest.int "nineteen experiments" 19 (List.length ids);
+  check Alcotest.int "twenty experiments" 20 (List.length ids);
   List.iter
     (fun id ->
       check Alcotest.bool (id ^ " findable") true
         (Experiments.Registry.find id <> None))
     [
-      "table1"; "table2"; "table3"; "table4"; "table5";
+      "table1"; "table2"; "table3"; "table4"; "table5"; "splice_cycles";
       "fig3"; "fig45"; "fig7"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15";
       "fig_a5"; "ablation"; "exceptions"; "iouring"; "experiences"; "chaos";
     ]

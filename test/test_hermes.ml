@@ -224,7 +224,9 @@ let test_dispatch_selects_from_bitmap () =
         socks;
       check Alcotest.bool "selected a bitmap member" true
         (List.mem !slot [ 1; 4; 6 ])
-    | (Kernel.Ebpf.Fell_back | Kernel.Ebpf.Dropped), _ ->
+    | ( ( Kernel.Ebpf.Fell_back | Kernel.Ebpf.Dropped
+        | Kernel.Ebpf.Redirected _ ),
+        _ ) ->
       Alcotest.fail "should select"
   done
 

@@ -83,6 +83,12 @@ let test_render_stability () =
         "fault.inject kind=hang worker=3 arg=600000000" );
       ( Trace.Fault_clear { fault = "ebpf_fail"; worker = -1 },
         "fault.clear kind=ebpf_fail worker=-1" );
+      ( Trace.Splice_attach { conn = 1; worker = 2; key = 3 },
+        "splice.attach conn=1 worker=2 key=3" );
+      ( Trace.Splice_redirect { conn = 1; worker = 2; bytes = 8192; copied = 256 },
+        "splice.redirect conn=1 worker=2 bytes=8192 copied=256" );
+      ( Trace.Splice_teardown { conn = 1; worker = 2; key = 3; reason = "isolate" },
+        "splice.teardown conn=1 worker=2 key=3 reason=isolate" );
     ]
   in
   List.iter
@@ -203,6 +209,9 @@ let all_constructor_records =
     ev 23 (Trace.Fault_inject { fault = "hang"; worker = 3; arg = 600_000_000 });
     ev 24 (Trace.Fault_inject { fault = "probe_loss"; worker = -1; arg = 0 });
     ev 25 (Trace.Fault_clear { fault = "hang"; worker = 3 });
+    ev 26 (Trace.Splice_attach { conn = 9; worker = 1; key = 1573 });
+    ev 27 (Trace.Splice_redirect { conn = 9; worker = 1; bytes = 65536; copied = 0 });
+    ev 28 (Trace.Splice_teardown { conn = 9; worker = 1; key = 1573; reason = "close" });
   ]
 
 let with_temp_file f =

@@ -185,6 +185,75 @@ let test_masked_map_index_proved () =
        r.Kernel.Verifier.sites)
 
 (* ------------------------------------------------------------------ *)
+(* Sockmap redirect obligations                                         *)
+
+(* Hand-built bytecode that feeds the raw flow hash to sk_redirect_map
+   with no guard and no mask: the [Sockmap_key] obligation cannot be
+   discharged, so the check stays armed, and the out-of-bounds key at
+   runtime makes the program fall back instead of touching the map. *)
+let test_unmasked_sockmap_key_residual () =
+  let open Kernel.Ebpf_vm in
+  let m = Kernel.Ebpf_maps.Sockmap.create ~name:"m_splice_t" ~size:8 in
+  Kernel.Ebpf_maps.Sockmap.set m 4 ~conn:99 ~target:2;
+  let v, r =
+    verify_ok
+      [|
+        Ld_flow_hash R1;
+        Call (Sk_redirect m);
+        Mov_imm (R0, 0L);
+        Exit;
+      |]
+  in
+  check Alcotest.bool "unproved" false (Kernel.Ebpf_vm.fully_proved v);
+  check Alcotest.bool "sockmap site residual" true
+    (List.exists
+       (fun s ->
+         s.Kernel.Verifier.kind = Kernel.Verifier.Sockmap_key
+         && s.Kernel.Verifier.status = Kernel.Verifier.Runtime_check)
+       r.Kernel.Verifier.sites);
+  check Alcotest.bool "residual checks armed" true
+    (Kernel.Ebpf_vm.residual_checks v > 0);
+  (* ctx.flow_hash = 0x12345678 >= 8: the armed check fires *)
+  match fst (Kernel.Ebpf_vm.run v ctx) with
+  | Kernel.Ebpf.Fell_back -> ()
+  | _ -> Alcotest.fail "OOB sockmap key should fall back"
+
+(* An unmaskable key through the AST path: the [Redirect] compile emits
+   range guards, so the call-site obligation is discharged by branch
+   refinement, and an out-of-range hash takes the guard's fallback exit
+   in the interpreter and the JIT alike. *)
+let test_redirect_guard_catches_oob_key () =
+  let m = Kernel.Ebpf_maps.Sockmap.create ~name:"m_splice_g" ~size:8 in
+  Kernel.Ebpf_maps.Sockmap.set m 5 ~conn:41 ~target:3;
+  let prog =
+    {
+      Kernel.Ebpf.name = "raw_key_redirect";
+      body = Kernel.Ebpf.Redirect (m, Kernel.Ebpf.Flow_hash, Kernel.Ebpf.Const 64L, Kernel.Ebpf.Fallback);
+    }
+  in
+  let v =
+    match Kernel.Verifier.compile_and_verify prog with
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Kernel.Verifier.error_to_string e)
+  in
+  let jit = Kernel.Ebpf_jit.compile v in
+  (* in range and occupied: both engines redirect to the same entry *)
+  (match fst (Kernel.Ebpf_vm.run v { Kernel.Ebpf.flow_hash = 5; dst_port = 80 }) with
+  | Kernel.Ebpf.Redirected { conn; target; copy } ->
+    check Alcotest.int "conn" 41 conn;
+    check Alcotest.int "target" 3 target;
+    check Alcotest.int "copy" 64 copy
+  | _ -> Alcotest.fail "in-range occupied key should redirect");
+  check Alcotest.int "jit redirects" 3
+    (Kernel.Ebpf_jit.exec jit ~flow_hash:5 ~dst_port:80);
+  (* out of range: the guard rejects the key before the helper runs *)
+  (match fst (Kernel.Ebpf_vm.run v ctx) with
+  | Kernel.Ebpf.Fell_back -> ()
+  | _ -> Alcotest.fail "OOB key should take the guard exit");
+  check Alcotest.int "jit falls back" 0
+    (Kernel.Ebpf_jit.exec jit ~flow_hash:ctx.Kernel.Ebpf.flow_hash ~dst_port:80)
+
+(* ------------------------------------------------------------------ *)
 (* The shipped dispatch programs carry complete certificates            *)
 
 let algo2_full_certificate name prog =
@@ -214,6 +283,14 @@ let test_algo2_two_level_full_certificate () =
   let m_socket = Kernel.Ebpf_maps.Sockarray.create ~name:"M_sock" ~size:8 in
   algo2_full_certificate "algo2_two_level"
     (Hermes.Groups.make_prog g ~m_socket ~min_selected:2)
+
+(* The shipped splice program masks its key to a power-of-two sockmap
+   and bounds the copy statically, so the whole redirect path carries a
+   complete certificate: the JIT runs it with zero armed checks. *)
+let test_splice_prog_full_certificate () =
+  let m_splice = Kernel.Ebpf_maps.Sockmap.create ~name:"M_splice" ~size:4096 in
+  algo2_full_certificate "hermes_splice"
+    (Hermes.Dispatch.splice_prog ~m_splice ~copy:256 ())
 
 (* ------------------------------------------------------------------ *)
 (* AST-level Ebpf.verify error cases                                    *)
@@ -292,6 +369,14 @@ let qsa =
   done;
   sa
 
+let qsm =
+  let sm = Kernel.Ebpf_maps.Sockmap.create ~name:"qv_splice" ~size:8 in
+  for k = 0 to 7 do
+    (* slots 5-7 empty so Sk_redirect exercises the miss path *)
+    if k < 5 then Kernel.Ebpf_maps.Sockmap.set sm k ~conn:(100 + k) ~target:(k mod 3)
+  done;
+  sm
+
 (* Random but mostly-well-formed bytecode: every register initialized
    up front, helper args re-seeded right before each call, jumps biased
    forward.  Programs the verifier rejects (wild jumps, clobbered
@@ -358,6 +443,22 @@ let gen_vm_prog =
                 Kernel.Ebpf_vm.Call Kernel.Ebpf_vm.Reciprocal_scale;
               ])
             imm (int_range 1 10) );
+        ( 1,
+          map
+            (fun k ->
+              [
+                Kernel.Ebpf_vm.Mov_imm (Kernel.Ebpf_vm.R1, Int64.of_int k);
+                Kernel.Ebpf_vm.Call (Kernel.Ebpf_vm.Sk_redirect qsm);
+              ])
+            (int_range (-2) 9) );
+        ( 1,
+          map
+            (fun c ->
+              [
+                Kernel.Ebpf_vm.Mov_imm (Kernel.Ebpf_vm.R1, Int64.of_int c);
+                Kernel.Ebpf_vm.Call Kernel.Ebpf_vm.Sk_copy;
+              ])
+            (int_range (-100) (Kernel.Ebpf.copy_limit + 100)) );
       ]
   in
   let prelude =
@@ -382,6 +483,9 @@ let outcome_equal a b =
   | Kernel.Ebpf.Dropped, Kernel.Ebpf.Dropped -> true
   | Kernel.Ebpf.Selected s1, Kernel.Ebpf.Selected s2 ->
     Kernel.Socket.id s1 = Kernel.Socket.id s2
+  | ( Kernel.Ebpf.Redirected { conn = c1; target = t1; copy = y1 },
+      Kernel.Ebpf.Redirected { conn = c2; target = t2; copy = y2 } ) ->
+    c1 = c2 && t1 = t2 && y1 = y2
   | _ -> false
 
 let prop_fast_matches_checked =
@@ -448,6 +552,50 @@ let prop_jit_matches_interpreters =
         done;
         !ok)
 
+(* Random sockmap redirect programs through all four engines: the AST
+   interpreter, both bytecode interpreters and the closure JIT must
+   agree on the full redirect verdict (entry and accepted copy length)
+   for every map size (power-of-two sizes take the masked-key path,
+   the rest the mod-folded one), occupancy pattern and flow hash. *)
+let prop_redirect_engines_agree =
+  QCheck.Test.make
+    ~name:"splice redirect: AST = interpreter = checked = JIT (random sockmaps)"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 64) (int_range 0 Kernel.Ebpf.copy_limit) small_int))
+    (fun (size, copy, seed) ->
+      let m = Kernel.Ebpf_maps.Sockmap.create ~name:"qv_redir" ~size in
+      let rng = Engine.Rng.create (seed + 11) in
+      for k = 0 to size - 1 do
+        if Engine.Rng.int rng 4 <> 0 then
+          Kernel.Ebpf_maps.Sockmap.set m k ~conn:(500 + k)
+            ~target:(Engine.Rng.int rng 8)
+      done;
+      let prog = Hermes.Dispatch.splice_prog ~m_splice:m ~copy () in
+      match Kernel.Verifier.compile_and_verify prog with
+      | Error e -> QCheck.Test.fail_report (Kernel.Verifier.error_to_string e)
+      | Ok v ->
+        let jit = Kernel.Ebpf_jit.compile v in
+        let ast = Kernel.Ebpf.verify_exn prog in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let ctx =
+            { Kernel.Ebpf.flow_hash = Engine.Rng.int rng 0x7FFFFFFF; dst_port = 80 }
+          in
+          let ast_out = fst (Kernel.Ebpf.run ast ctx) in
+          let vm_out, vm_cycles = Kernel.Ebpf_vm.run v ctx in
+          let chk_out, chk_cycles = Kernel.Ebpf_vm.run_checked v ctx in
+          let jit_out, jit_cycles = Kernel.Ebpf_jit.run jit ctx in
+          ok :=
+            !ok
+            && outcome_equal ast_out vm_out
+            && outcome_equal jit_out vm_out
+            && outcome_equal jit_out chk_out
+            && jit_cycles = vm_cycles && jit_cycles = chk_cycles
+        done;
+        !ok)
+
 let () =
   Alcotest.run "verifier"
     [
@@ -480,6 +628,12 @@ let () =
             test_algo2_single_full_certificate;
           Alcotest.test_case "algo2 two-level" `Quick
             test_algo2_two_level_full_certificate;
+          Alcotest.test_case "unmasked sockmap key residual" `Quick
+            test_unmasked_sockmap_key_residual;
+          Alcotest.test_case "redirect guard catches OOB key" `Quick
+            test_redirect_guard_catches_oob_key;
+          Alcotest.test_case "splice prog full certificate" `Quick
+            test_splice_prog_full_certificate;
         ] );
       ( "ast-checker",
         [
@@ -492,5 +646,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_fast_matches_checked;
           QCheck_alcotest.to_alcotest prop_jit_matches_interpreters;
+          QCheck_alcotest.to_alcotest prop_redirect_engines_agree;
         ] );
     ]
